@@ -1,0 +1,80 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one artifact of the paper (a figure or an
+in-text table), asserts that its *shape* matches what the paper reports,
+and times the computation with pytest-benchmark.  EXPERIMENTS.md records
+the paper-vs-measured comparison for each.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers",
+                            "paper(artifact): the paper artifact reproduced")
+
+
+PAPER_SIGNAL_ORDER = ["DSr", "DTACK", "LDTACK", "LDS", "D"]
+PAPER_GROUPS = [["DSr", "DTACK"], ["LDTACK", "LDS"], ["D"]]
+PAPER_ORDER_CSC = ["DSr", "DTACK", "LDTACK", "LDS", "D", "csc0"]
+
+VME_ENV_DELAYS = {
+    # a slow bus (DSr) and a moderately fast device (LDTACK):
+    # the delay regime the paper's Section 5 assumes when it claims
+    # sep(LDTACK-, DSr+) < 0
+    "DSr+": (18, 25), "DSr-": (4, 6),
+    "DTACK+": (1, 2), "DTACK-": (1, 2),
+    "LDS+": (1, 2), "LDS-": (1, 2),
+    "LDTACK+": (3, 5), "LDTACK-": (3, 5),
+    "D+": (1, 2), "D-": (1, 2),
+}
+
+
+def fig8a_netlist():
+    """Figure 8(a): C-element implementation of the READ-cycle control."""
+    from repro.synth import Gate, Netlist
+
+    n = Netlist("fig8a", inputs=["DSr", "LDTACK"])
+    n.add(Gate.classic_c_element("csc0", "DSr", "LDTACK", invert_b=True))
+    n.add(Gate.comb("D", "LDTACK & csc0"))
+    n.add(Gate.comb("LDS", "csc0 | D"))
+    n.add(Gate.buffer("DTACK", "D"))
+    return n
+
+
+def fig8b_netlist():
+    """Figure 8(b): reset-dominant RS-latch implementation."""
+    from repro.synth import Gate, Netlist
+
+    n = Netlist("fig8b", inputs=["DSr", "LDTACK"])
+    n.add(Gate.sr_latch("csc0", "DSr & ~LDTACK", "~DSr", dominance="reset"))
+    n.add(Gate.comb("D", "LDTACK & csc0"))
+    n.add(Gate.comb("LDS", "csc0 | D"))
+    n.add(Gate.buffer("DTACK", "D"))
+    return n
+
+
+def fig9a_netlist():
+    """Figure 9(a): two-input decomposition, map0 multiply acknowledged."""
+    from repro.synth import Gate, Netlist
+
+    n = Netlist("fig9a", inputs=["DSr", "LDTACK"])
+    n.add(Gate.comb("map0", "csc0 | ~LDTACK"))
+    n.add(Gate.comb("csc0", "DSr & map0"))
+    n.add(Gate.comb("D", "LDTACK & map0"))
+    n.add(Gate.comb("LDS", "csc0 | D"))
+    n.add(Gate.buffer("DTACK", "D"))
+    return n
+
+
+def fig9b_netlist():
+    """Figure 9(b): the hazardous variant — map0 read only by csc0."""
+    from repro.synth import Gate, Netlist
+
+    n = Netlist("fig9b", inputs=["DSr", "LDTACK"])
+    n.add(Gate.comb("map0", "csc0 | ~LDTACK"))
+    n.add(Gate.comb("csc0", "DSr & map0"))
+    n.add(Gate.comb("D", "LDTACK & csc0"))
+    n.add(Gate.comb("LDS", "csc0 | D"))
+    n.add(Gate.buffer("DTACK", "D"))
+    return n

@@ -1,0 +1,35 @@
+"""Figure 2 — waveforms of the READ cycle.
+
+Regenerates the timing diagram from the formal STG model and checks the
+edge order the paper's Figure 2 shows:
+DSr+ < LDS+ < LDTACK+ < D+ < DTACK+ < DSr- < D- < {DTACK-, LDS- < LDTACK-}.
+"""
+
+from repro.stg import canonical_trace, render_waveforms, vme_read
+
+
+def edge_positions(trace):
+    return {event: i for i, event in enumerate(trace)}
+
+
+def test_fig2_waveform_edge_order(benchmark):
+    stg = vme_read()
+    trace = benchmark(canonical_trace, stg)
+    pos = edge_positions(trace)
+    order = ["DSr+", "LDS+", "LDTACK+", "D+", "DTACK+", "DSr-", "D-"]
+    for earlier, later in zip(order, order[1:]):
+        assert pos[earlier] < pos[later]
+    assert pos["D-"] < pos["DTACK-"]
+    assert pos["D-"] < pos["LDS-"] < pos["LDTACK-"]
+
+
+def test_fig2_waveform_rendering(benchmark):
+    stg = vme_read()
+    text = benchmark(render_waveforms, stg)
+    print("\n" + text)
+    lines = text.splitlines()
+    assert len(lines) == 1 + len(stg.signals)
+    for signal in stg.signals:
+        row = next(l for l in lines if l.strip().startswith(signal + " "))
+        # one rising and one falling edge per signal per cycle
+        assert row.count("/") == 1 and row.count("\\") == 1

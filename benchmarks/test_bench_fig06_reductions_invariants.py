@@ -1,0 +1,84 @@
+"""Figure 6 — linear reduction of the READ/WRITE STG and its two
+state-machine components.
+
+Paper: the reduced net has places p0..p5 and abstract transitions A..F;
+two SM components (token count 1 each) cover the places; their invariants
+I1, I2 characterise the reachability set exactly.
+"""
+
+from repro.bdd import SymbolicReachability
+from repro.petri import (
+    invariant_overapproximation,
+    invariant_value,
+    linear_reduce,
+    p_invariants,
+    reachable_markings,
+    sm_components,
+    sm_cover,
+)
+from repro.stg import vme_read_write
+
+
+def test_fig6_linear_reduction_shape(benchmark):
+    net = vme_read_write().net
+    reduced = benchmark(linear_reduce, net)
+    # paper: 6 places, 6 abstract transitions (A..F)
+    assert len(reduced.places) == 6
+    assert len(reduced.transitions) == 6
+    print("\nreduced net transitions (macro names record the fusions):")
+    for t in sorted(reduced.transitions):
+        print("  ", t)
+
+
+def test_fig6_sm_components(benchmark):
+    reduced = linear_reduce(vme_read_write().net)
+    components = benchmark(sm_components, reduced)
+    assert len(components) == 2
+    sizes = sorted(len(c.places) for c in components)
+    # two components covering all six places; each holds exactly 1 token
+    assert sum(sizes) >= 6
+    assert all(c.tokens == 1 for c in components)
+    cover = sm_cover(reduced)
+    assert cover is not None
+    assert set().union(*(c.places for c in cover)) == set(reduced.places)
+    # one component is spanned by a strict subset of the transitions
+    # (the paper's T1 has 3 of the 6 abstract transitions)
+    t_sizes = sorted(len(c.transitions) for c in components)
+    assert t_sizes[0] < 6
+
+
+def test_fig6_invariants_characterise_reachability(benchmark):
+    """I1 ∧ I2 = exact characteristic function of the reachable markings
+    (the paper's claim for this example)."""
+    reduced = linear_reduce(vme_read_write().net)
+
+    def conjunction():
+        return invariant_overapproximation(reduced)
+
+    approx = benchmark(conjunction)
+    assert approx == reachable_markings(reduced)
+
+
+def test_fig6_invariant_token_counts(benchmark):
+    reduced = linear_reduce(vme_read_write().net)
+    invs = benchmark(p_invariants, reduced)
+    assert len(invs) == 2
+    for inv in invs:
+        assert invariant_value(reduced, inv) == 1
+        assert all(w == 1 for w in inv.values())
+
+
+def test_fig6_unreduced_vs_reduced_symbolic_cost(benchmark):
+    """Reductions as preprocessing (Section 2.2): the reduced net's
+    symbolic traversal touches far fewer BDD variables."""
+    full = vme_read_write().net
+    reduced = linear_reduce(full)
+
+    def both():
+        return (SymbolicReachability(full).count(),
+                SymbolicReachability(reduced).count())
+
+    full_count, reduced_count = benchmark(both)
+    assert full_count == 24
+    assert reduced_count == 8
+    assert len(reduced.places) < len(full.places)

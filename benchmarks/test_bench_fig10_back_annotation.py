@@ -1,0 +1,61 @@
+"""Figure 10 — back-annotation.
+
+(a) the STG extracted (via region-based PN synthesis) from the behaviour
+    of the decomposed circuit of Figure 9(a): 14 signal transitions
+    including map0+/map0- and csc0+/csc0-;
+(b) a lazy STG: the timing-optimised circuit's STG annotated with the
+    separation constraints the physical level must guarantee.
+"""
+
+from repro.regions import extract_stg, synthesize_net
+from repro.stg import SignalType, vme_read, write_g
+from repro.timing import LazySTG, SeparationConstraint
+from repro.ts import build_reachability_graph
+from repro.verify import verify_circuit
+
+from conftest import fig9a_netlist
+
+
+def circuit_behaviour_ts():
+    report = verify_circuit(fig9a_netlist(), vme_read(), keep_ts=True)
+    assert report.ok
+    return report.ts
+
+
+def test_fig10a_stg_extraction(benchmark):
+    ts = circuit_behaviour_ts()
+    spec = vme_read()
+    types = {s: spec.type_of(s) for s in spec.signals}
+    types["csc0"] = SignalType.INTERNAL
+    types["map0"] = SignalType.INTERNAL
+    extracted = benchmark(extract_stg, ts, types, "fig10a")
+    # 10 interface transitions + csc0+/- + map0+/- = 14 (as drawn)
+    assert len(extracted.net.transitions) == 14
+    ts2 = build_reachability_graph(extracted)
+    assert ts.bisimilar(ts2)
+    print("\nExtracted STG (Figure 10a):\n" + write_g(extracted))
+
+
+def test_fig10a_net_synthesis_alone(benchmark):
+    ts = circuit_behaviour_ts()
+    net, place_map = benchmark(synthesize_net, ts)
+    assert len(net.transitions) == len(ts.events)
+    assert build_reachability_graph(net).bisimilar(ts)
+
+
+def test_fig10b_lazy_stg(benchmark):
+    """The timed STG with separation annotations of Figure 10(b)."""
+    spec = vme_read().retarget_trigger("LDS-", "D-", "DSr-")
+
+    def build():
+        return LazySTG(spec, [
+            SeparationConstraint("LDTACK-", "DSr+", "assumption"),
+            SeparationConstraint("D-", "LDS-", "requirement"),
+        ])
+
+    lazy = benchmark(build)
+    text = lazy.describe()
+    assert "sep(LDTACK-,DSr+)<0 [assumption]" in text
+    assert "sep(D-,LDS-)<0 [requirement]" in text
+    assert lazy.priorities() == [("LDTACK-", "DSr+"), ("D-", "LDS-")]
+    print("\n" + text)

@@ -1,0 +1,64 @@
+"""Exact vs heuristic two-level minimization.
+
+The paper's synthesis step relies on boolean minimization with don't
+cares (§3.2).  This benchmark compares the exact Quine–McCluskey/Petrick
+engine against the ESPRESSO-style heuristic on the reproduction's own
+functions (the VME next-state functions) and on random dense functions
+where exact covering starts to hurt.
+"""
+
+import random
+
+import pytest
+
+from repro.boolmin import espresso, minimize, verify_cover
+from repro.stg import vme_read_csc
+from repro.synth import derive_all_next_state_functions
+from repro.ts import build_state_graph
+
+
+def vme_functions():
+    sg = build_state_graph(vme_read_csc())
+    return derive_all_next_state_functions(sg)
+
+
+def test_engines_agree_on_vme(benchmark):
+    fns = vme_functions()
+
+    def both():
+        results = {}
+        for signal, fn in sorted(fns.items()):
+            exact = minimize(sorted(fn.onset), sorted(fn.dcset), fn.width)
+            heur = espresso(sorted(fn.onset), sorted(fn.dcset), fn.width)
+            results[signal] = (len(exact), len(heur))
+        return results
+
+    results = benchmark(both)
+    print("\nsignal | exact cubes | espresso cubes")
+    for signal, (e, h) in results.items():
+        print("  %-6s| %11d | %d" % (signal, e, h))
+        assert h == e  # on these small functions the heuristic is optimal
+
+
+@pytest.mark.parametrize("n,terms", [(8, 60), (10, 150)])
+def test_heuristic_scales(benchmark, n, terms):
+    rng = random.Random(n)
+    onset = sorted(rng.sample(range(1 << n), terms))
+    dc = sorted(set(rng.sample(range(1 << n), terms // 2)) - set(onset))
+    offset = [m for m in range(1 << n)
+              if m not in set(onset) and m not in set(dc)]
+
+    cover = benchmark(espresso, onset, dc, n)
+    assert verify_cover(cover, onset, offset, n)
+    print("\nn=%d: %d ON minterms -> %d cubes" % (n, terms, len(cover)))
+
+
+def test_exact_on_medium_function(benchmark):
+    rng = random.Random(8)
+    n, terms = 8, 60
+    onset = sorted(rng.sample(range(1 << n), terms))
+    dc = sorted(set(rng.sample(range(1 << n), 30)) - set(onset))
+    cover = benchmark(minimize, onset, dc, n)
+    offset = [m for m in range(1 << n)
+              if m not in set(onset) and m not in set(dc)]
+    assert verify_cover(cover, onset, offset, n)

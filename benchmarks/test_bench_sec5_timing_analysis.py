@@ -1,0 +1,94 @@
+"""Section 5 / Section 2.1 — performance analysis and time separation.
+
+Regenerates the timing-analysis artifacts: maximum separations between
+VME events under realistic delay budgets (the justification for the
+Figure 11 assumptions), the controller's cycle time, and latency, plus
+the separation-vs-delay crossover: as the bus turnaround (DSr+ delay)
+shrinks, sep(LDTACK-, next DSr+) crosses zero and the timed circuit is no
+longer licensed.
+"""
+
+import pytest
+
+from repro.stg import vme_read
+from repro.timing import (
+    TimedMarkedGraph,
+    critical_cycle,
+    cycle_time,
+    latency,
+    max_separation,
+    throughput,
+    validates_assumption,
+)
+
+from conftest import VME_ENV_DELAYS
+
+
+def vme_tmg(dsr_delay=(18, 25)):
+    delays = dict(VME_ENV_DELAYS)
+    delays["DSr+"] = dsr_delay
+    return TimedMarkedGraph(vme_read().net, delays)
+
+
+def test_sec5_separation_values(benchmark):
+    tmg = vme_tmg()
+
+    def separations():
+        return {
+            ("LDTACK-", "DSr+"): max_separation(tmg, "LDTACK-", "DSr+",
+                                                occurrence_offset=-1),
+            ("LDS-", "DSr+"): max_separation(tmg, "LDS-", "DSr+",
+                                             occurrence_offset=-1),
+            ("D-", "LDS-"): max_separation(tmg, "D-", "LDS-"),
+        }
+
+    seps = benchmark(separations)
+    print("\nmax separations (negative = always earlier):")
+    for (a, b), v in seps.items():
+        print("  sep(%s, %s) = %.1f" % (a, b, v))
+    assert seps[("LDTACK-", "DSr+")] < 0     # Figure 11(a) assumption holds
+    assert seps[("D-", "LDS-")] < 0          # D- precedes LDS- in the spec
+
+
+def test_sec5_crossover_in_bus_speed(benchmark):
+    """Sweep the bus request delay: the assumption flips validity."""
+
+    def sweep():
+        rows = []
+        for dsr in (2, 6, 10, 14, 18, 22):
+            tmg = vme_tmg((dsr, dsr + 4))
+            ok = validates_assumption(tmg, "LDTACK-", "DSr+",
+                                      occurrence_offset=-1)
+            rows.append((dsr, ok))
+        return rows
+
+    rows = benchmark(sweep)
+    print("\nDSr+ min delay | sep(LDTACK-, next DSr+) < 0 ?")
+    for dsr, ok in rows:
+        print("  %12d | %s" % (dsr, ok))
+    validity = [ok for _, ok in rows]
+    assert validity[0] is False          # fast bus: assumption broken
+    assert validity[-1] is True          # slow bus: assumption holds
+    assert validity == sorted(validity)  # single crossover
+
+
+def test_sec5_cycle_time_and_throughput(benchmark):
+    tmg = vme_tmg()
+
+    def analyse():
+        return cycle_time(tmg), throughput(tmg), critical_cycle(tmg)[1]
+
+    ct, tp, cycle = benchmark(analyse)
+    print("\ncycle time = %.1f, throughput = %.4f" % (ct, tp))
+    if cycle:
+        print("critical cycle:", " -> ".join(cycle))
+    # hand check: main loop DSr+ LDS+ LDTACK+ D+ DTACK+ DSr- D- DTACK-
+    assert ct == pytest.approx(25 + 2 + 5 + 2 + 2 + 6 + 2 + 2, abs=1e-6)
+
+
+def test_sec5_latency_request_to_ack(benchmark):
+    """Worst-case DSr+ -> DTACK+ latency within a transaction."""
+    tmg = vme_tmg()
+    value = benchmark(latency, tmg, "DSr+", "DTACK+")
+    # LDS+ (2) + LDTACK+ (5) + D+ (2) + DTACK+ (2) after DSr+
+    assert value == pytest.approx(11.0, abs=1e-6)

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets ``pip install -e . --no-use-pep517`` work in
+offline environments lacking the ``wheel`` package."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""ROBDD engine and symbolic Petri-net reachability (paper Section 2.2)."""
+
+from .bdd import BDD, FALSE, TRUE
+from .symbolic import (
+    structural_place_order,
+    DenseSymbolicReachability,
+    SymbolicReachability,
+    symbolic_marking_count,
+)
+
+__all__ = [
+    "BDD", "FALSE", "TRUE",
+    "DenseSymbolicReachability", "SymbolicReachability", "structural_place_order",
+    "symbolic_marking_count",
+]

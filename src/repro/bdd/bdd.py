@@ -1,0 +1,316 @@
+"""A from-scratch Reduced Ordered Binary Decision Diagram package.
+
+Section 2.2 of the paper relies on "symbolic BDD-based traversal of a
+reachability graph [which] allows its implicit representation, generally
+much more compact than an explicit enumeration of states".  This module
+provides the substrate: hash-consed ROBDD nodes with the classic
+operations (ite/apply, restrict, existential quantification, renaming,
+satisfy-count/enumeration).
+
+Node references are integers: 0 and 1 are the terminals; other ids index
+into the manager's node table.  Variables are ordered by their index in
+the manager's variable list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+
+FALSE = 0
+TRUE = 1
+
+
+class BDD:
+    """A BDD manager with a fixed variable order."""
+
+    def __init__(self, variables: Sequence[str]):
+        self.variables: List[str] = list(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise ModelError("duplicate BDD variables")
+        self.var_index: Dict[str, int] = {
+            v: i for i, v in enumerate(self.variables)
+        }
+        # node table: id -> (level, low, high); ids 0/1 reserved
+        self._nodes: List[Tuple[int, int, int]] = [
+            (len(self.variables), -1, -1),
+            (len(self.variables), -1, -1),
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._quant_cache: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # node construction
+    # ------------------------------------------------------------------ #
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> int:
+        """The BDD for a single variable."""
+        return self._mk(self.var_index[name], FALSE, TRUE)
+
+    def nvar(self, name: str) -> int:
+        """The BDD for a negated variable."""
+        return self._mk(self.var_index[name], TRUE, FALSE)
+
+    def level(self, u: int) -> int:
+        """Variable level of a node (terminals sit below all variables)."""
+        return self._nodes[u][0]
+
+    def low(self, u: int) -> int:
+        """The 0-branch child of a node."""
+        return self._nodes[u][1]
+
+    def high(self, u: int) -> int:
+        """The 1-branch child of a node."""
+        return self._nodes[u][2]
+
+    def node_count(self) -> int:
+        """Total nodes allocated by the manager (a size measure)."""
+        return len(self._nodes)
+
+    def size(self, u: int) -> int:
+        """Number of distinct nodes reachable from ``u`` (incl. terminals)."""
+        seen = set()
+        stack = [u]
+        while stack:
+            n = stack.pop()
+            if n in seen or n <= 1:
+                continue
+            seen.add(n)
+            stack.append(self.low(n))
+            stack.append(self.high(n))
+        return len(seen) + 2
+
+    # ------------------------------------------------------------------ #
+    # boolean operations (via ite)
+    # ------------------------------------------------------------------ #
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f·g + f'·h`` — the universal connective."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self.level(f), self.level(g), self.level(h))
+
+        def cof(u: int, branch: int) -> int:
+            if self.level(u) != level:
+                return u
+            return self.high(u) if branch else self.low(u)
+
+        result = self._mk(
+            level,
+            self.ite(cof(f, 0), cof(g, 0), cof(h, 0)),
+            self.ite(cof(f, 1), cof(g, 1), cof(h, 1)),
+        )
+        self._ite_cache[key] = result
+        return result
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.ite(f, TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_not(self, f: int) -> int:
+        """Complement."""
+        return self.ite(f, FALSE, TRUE)
+
+    def conj(self, operands: Sequence[int]) -> int:
+        """Conjunction of many operands."""
+        result = TRUE
+        for f in operands:
+            result = self.apply_and(result, f)
+        return result
+
+    def disj(self, operands: Sequence[int]) -> int:
+        """Disjunction of many operands."""
+        result = FALSE
+        for f in operands:
+            result = self.apply_or(result, f)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # cofactors and quantification
+    # ------------------------------------------------------------------ #
+
+    def restrict(self, f: int, name: str, value: int) -> int:
+        """Cofactor of ``f`` with variable set to ``value``."""
+        target = self.var_index[name]
+
+        cache: Dict[int, int] = {}
+
+        def walk(u: int) -> int:
+            if u <= 1 or self.level(u) > target:
+                return u
+            if u in cache:
+                return cache[u]
+            if self.level(u) == target:
+                result = self.high(u) if value else self.low(u)
+            else:
+                result = self._mk(self.level(u), walk(self.low(u)),
+                                  walk(self.high(u)))
+            cache[u] = result
+            return result
+
+        return walk(f)
+
+    def exists(self, f: int, names: Sequence[str]) -> int:
+        """Existential quantification over the named variables."""
+        levels = tuple(sorted(self.var_index[n] for n in names))
+        if not levels:
+            return f
+        key = (f, levels)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+
+        def walk(u: int) -> int:
+            if u <= 1 or self.level(u) > levels[-1]:
+                return u
+            k = (u, levels)
+            hit = self._quant_cache.get(k)
+            if hit is not None:
+                return hit
+            lo = walk(self.low(u))
+            hi = walk(self.high(u))
+            if self.level(u) in levels:
+                result = self.apply_or(lo, hi)
+            else:
+                result = self._mk(self.level(u), lo, hi)
+            self._quant_cache[k] = result
+            return result
+
+        return walk(f)
+
+    def rename(self, f: int, mapping: Dict[str, str]) -> int:
+        """Substitute variables (must preserve relative order between the
+        renamed variables, as in the standard current/next interleaving)."""
+        pairs = {self.var_index[a]: self.var_index[b]
+                 for a, b in mapping.items()}
+
+        cache: Dict[int, int] = {}
+
+        def walk(u: int) -> int:
+            if u <= 1:
+                return u
+            if u in cache:
+                return cache[u]
+            level = pairs.get(self.level(u), self.level(u))
+            result = self._mk(level, walk(self.low(u)), walk(self.high(u)))
+            cache[u] = result
+            return result
+
+        return walk(f)
+
+    def and_exists(self, f: int, g: int, names: Sequence[str]) -> int:
+        """Relational product ``∃names . f ∧ g`` (no special optimisation —
+        correctness first, the nets here are small)."""
+        return self.exists(self.apply_and(f, g), names)
+
+    # ------------------------------------------------------------------ #
+    # evaluation and enumeration
+    # ------------------------------------------------------------------ #
+
+    def eval(self, f: int, env: Dict[str, int]) -> int:
+        """Evaluate under a full assignment."""
+        u = f
+        while u > 1:
+            name = self.variables[self.level(u)]
+            u = self.high(u) if env[name] else self.low(u)
+        return u
+
+    def from_cube(self, assignment: Dict[str, int]) -> int:
+        """Conjunction of literals."""
+        result = TRUE
+        for name in sorted(assignment, key=lambda n: -self.var_index[n]):
+            lit = self.var(name) if assignment[name] else self.nvar(name)
+            result = self.apply_and(lit, result)
+        return result
+
+    def satcount(self, f: int, nvars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables
+        (defaults to all manager variables)."""
+        if nvars is None:
+            nvars = len(self.variables)
+
+        cache: Dict[int, int] = {}
+
+        def walk(u: int) -> int:
+            if u == FALSE:
+                return 0
+            if u == TRUE:
+                return 1 << (nvars - 0)  # adjusted below by level weighting
+            raise AssertionError
+
+        # weighted count: count(u) * 2^(level(u)) with terminals at nvars
+        def count(u: int) -> int:
+            if u == FALSE:
+                return 0
+            if u == TRUE:
+                return 1
+            if u in cache:
+                return cache[u]
+            lo = count(self.low(u)) << (self.level(self.low(u))
+                                        - self.level(u) - 1)
+            hi = count(self.high(u)) << (self.level(self.high(u))
+                                         - self.level(u) - 1)
+            result = lo + hi
+            cache[u] = result
+            return result
+
+        return count(f) << self.level(f) if f > 1 else (
+            0 if f == FALSE else 1 << nvars)
+
+    def sat_all(self, f: int) -> Iterator[Dict[str, int]]:
+        """Enumerate all satisfying full assignments."""
+        n = len(self.variables)
+
+        def walk(u: int, level: int, partial: Dict[str, int]):
+            if u == FALSE:
+                return
+            if level == n:
+                if u == TRUE:
+                    yield dict(partial)
+                return
+            name = self.variables[level]
+            if u > 1 and self.level(u) == level:
+                branches = [(0, self.low(u)), (1, self.high(u))]
+            else:
+                branches = [(0, u), (1, u)]
+            for value, child in branches:
+                partial[name] = value
+                yield from walk(child, level + 1, partial)
+            del partial[name]
+
+        yield from walk(f, 0, {})
+
+    def is_tautology(self, f: int) -> bool:
+        """True iff the function is the constant 1."""
+        return f == TRUE

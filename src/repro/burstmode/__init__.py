@@ -1,0 +1,17 @@
+"""Burst-mode machines and fundamental-mode hazard-free synthesis
+(paper Sections 3.3 and 6)."""
+
+from .machine import BMTransition, Burst, BurstModeMachine, burst, format_burst
+from .synthesis import (
+    derive_transitions,
+    simulate_fundamental_mode,
+    synthesize_burst_mode,
+)
+from .library import concur_mixer_bm, selector_bm, simple_handshake_bm
+
+__all__ = [
+    "BMTransition", "Burst", "BurstModeMachine", "burst", "format_burst",
+    "derive_transitions", "simulate_fundamental_mode",
+    "synthesize_burst_mode",
+    "concur_mixer_bm", "selector_bm", "simple_handshake_bm",
+]

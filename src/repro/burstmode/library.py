@@ -1,0 +1,55 @@
+"""Example burst-mode machines."""
+
+from __future__ import annotations
+
+from .machine import BurstModeMachine
+
+
+def simple_handshake_bm() -> BurstModeMachine:
+    """A four-phase handshake converter: on ``req+`` raise ``ack``,
+    on ``req-`` lower it.  Two states, output-coded."""
+    m = BurstModeMachine("simple_handshake", inputs=["req"],
+                         outputs=["ack"], initial_state="s0")
+    m.add_transition("s0", ["req+"], ["ack+"], "s1")
+    m.add_transition("s1", ["req-"], ["ack-"], "s0")
+    return m
+
+
+def concur_mixer_bm() -> BurstModeMachine:
+    """A two-input burst collector: both ``a+`` and ``b+`` arrive (in any
+    order — a genuine multiple-input change) and then ``y`` rises; both
+    withdraw and ``y`` falls.  The C-element behaviour in burst-mode
+    style.
+
+    Instructive artifact: under the fundamental-mode assumption, firing
+    ``y`` *during* the (single outgoing) burst is unobservable, so the
+    minimizer may legally produce a cover such as ``y = b`` — a circuit
+    that is **not** a speed-independent C-element.  This is exactly the
+    paper's Section 3.3 caveat that fundamental mode "is often too
+    restrictive and in particular is not satisfied for logic implementing
+    signal functions in synthesis using STGs".
+    """
+    m = BurstModeMachine("concur_mixer", inputs=["a", "b"],
+                         outputs=["y"], initial_state="s0")
+    m.add_transition("s0", ["a+", "b+"], ["y+"], "s1")
+    m.add_transition("s1", ["a-", "b-"], ["y-"], "s0")
+    return m
+
+
+def selector_bm() -> BurstModeMachine:
+    """A moded request selector (output-coded, four total states).
+
+    From idle, ``r+`` grants ``g1``; raising the mode input first routes
+    the same request to ``g2``.  Distinct bursts leave each state (the
+    maximal set property holds), and every abstract state is uniquely
+    identified by its input/output code.
+    """
+    m = BurstModeMachine("selector", inputs=["r", "m"],
+                         outputs=["g1", "g2"], initial_state="idle")
+    m.add_transition("idle", ["r+"], ["g1+"], "granted1")
+    m.add_transition("granted1", ["r-"], ["g1-"], "idle")
+    m.add_transition("idle", ["m+"], [], "mode")
+    m.add_transition("mode", ["r+"], ["g2+"], "granted2")
+    m.add_transition("granted2", ["r-"], ["g2-"], "mode")
+    m.add_transition("mode", ["m-"], [], "idle")
+    return m

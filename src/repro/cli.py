@@ -1,0 +1,309 @@
+"""Command-line interface: the paper's design flow on ``.g`` files.
+
+Usage::
+
+    python -m repro analyze spec.g
+    python -m repro states spec.g
+    python -m repro waveform spec.g
+    python -m repro reduce spec.g
+    python -m repro resolve spec.g -o resolved.g
+    python -m repro synthesize spec.g --arch cg --verify
+    python -m repro synthesize spec.g --decompose --verilog
+    python -m repro dot spec.g
+    python -m repro examples --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis import check_implementability
+from .errors import ReproError
+from .petri import linear_reduce, net_to_dot, p_invariants, sm_components
+from .stg import ALL_EXAMPLES, load_g, render_waveforms, save_g, write_g
+from .synth import (
+    resolve_csc,
+    synthesize_complex_gates,
+    synthesize_gc,
+    synthesize_sr,
+)
+from .tech import decompose, map_netlist
+from .timing import TimedMarkedGraph, max_separation
+from .ts import build_state_graph
+from .verify import verify_circuit
+
+
+def _load(path: str):
+    if path in ALL_EXAMPLES:
+        return ALL_EXAMPLES[path]()
+    return load_g(path)
+
+
+def cmd_analyze(args) -> int:
+    """Implementability report (Section 2)."""
+    stg = _load(args.spec)
+    report = check_implementability(stg)
+    print(report.summary())
+    if args.verbose:
+        for c in report.csc_conflicts:
+            print("  ", c)
+        for v in report.persistency_violations:
+            print("  ", v)
+    return 0 if report.implementable else 1
+
+
+def cmd_states(args) -> int:
+    """Binary-coded state graph listing (Figure 4 style)."""
+    stg = _load(args.spec)
+    sg = build_state_graph(stg)
+    print("# %d states, signals: %s" % (len(sg), " ".join(sg.signal_order)))
+    for state in sg.states:
+        print("%-30s %s" % (state, sg.code_str(state)))
+    return 0
+
+
+def cmd_waveform(args) -> int:
+    """ASCII timing diagram (Figure 2 style)."""
+    stg = _load(args.spec)
+    print(render_waveforms(stg))
+    return 0
+
+
+def cmd_reduce(args) -> int:
+    """Linear reductions, invariants and SM components (Figure 6)."""
+    stg = _load(args.spec)
+    reduced = linear_reduce(stg.net)
+    print("# original: %s" % stg.net.stats())
+    print("# reduced:  %s" % reduced.stats())
+    for inv in p_invariants(reduced):
+        print("invariant: %s = const" %
+              " + ".join("M(%s)" % p for p in sorted(inv)))
+    for comp in sm_components(reduced):
+        print("SM component: places=%s" % sorted(comp.places))
+    return 0
+
+
+def cmd_resolve(args) -> int:
+    """CSC resolution by state-signal insertion (Section 3.1)."""
+    stg = _load(args.spec)
+    resolved = resolve_csc(stg)
+    text = write_g(resolved)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print("# wrote %s (inserted: %s)"
+              % (args.output, " ".join(resolved.internal) or "none"))
+    else:
+        print(text, end="")
+    return 0
+
+
+_ARCHITECTURES = {
+    "cg": synthesize_complex_gates,
+    "gc": synthesize_gc,
+    "sr": synthesize_sr,
+}
+
+
+def cmd_synthesize(args) -> int:
+    """Logic synthesis, optionally decomposed and verified (Section 3)."""
+    stg = _load(args.spec)
+    resolved = resolve_csc(stg)
+    if resolved.internal and resolved is not stg:
+        print("# CSC resolved by inserting: %s"
+              % " ".join(s for s in resolved.internal))
+    if args.decompose:
+        netlist = decompose(resolved)
+        print("# decomposed into: %s" % ", ".join(
+            "%s:%s" % (k, v) for k, v in sorted(map_netlist(netlist).items())))
+    else:
+        netlist = _ARCHITECTURES[args.arch](resolved)
+    print(netlist.to_verilog() if args.verilog else netlist.to_eqn())
+    if args.verify:
+        report = verify_circuit(netlist, stg)
+        print()
+        print(report.summary())
+        return 0 if report.ok else 1
+    return 0
+
+
+def cmd_dot(args) -> int:
+    """Graphviz DOT of the underlying Petri net."""
+    stg = _load(args.spec)
+    print(net_to_dot(stg.net, title=stg.name))
+    return 0
+
+
+def cmd_separation(args) -> int:
+    """Maximum time separation of two events (Section 5)."""
+    stg = _load(args.spec)
+    with open(args.delays) as f:
+        raw = json.load(f)
+    delays = {k: tuple(v) for k, v in raw.items()}
+    tmg = TimedMarkedGraph(stg.net, delays)
+    value = max_separation(tmg, args.early, args.late,
+                           occurrence_offset=args.offset)
+    print("max sep(%s, %s) = %g" % (args.early, args.late, value))
+    return 0 if value < 0 else 1
+
+
+def cmd_testbench(args) -> int:
+    """Verilog netlist plus self-checking testbench (Section 6)."""
+    stg = _load(args.spec)
+    resolved = resolve_csc(stg)
+    netlist = _ARCHITECTURES[args.arch](resolved)
+    from .synth import generate_testbench
+
+    print(netlist.to_verilog())
+    print()
+    print(generate_testbench(stg, netlist, cycles=args.cycles))
+    return 0
+
+
+def cmd_coverability(args) -> int:
+    """Karp-Miller boundedness analysis."""
+    from .petri import build_coverability_graph
+
+    stg = _load(args.spec)
+    graph = build_coverability_graph(stg.net)
+    print("nodes: %d, bounded: %s" % (len(graph.nodes), graph.is_bounded()))
+    for p in graph.unbounded_places():
+        print("unbounded place: %s" % p)
+    for t in graph.dead_transitions():
+        print("dead transition: %s" % t)
+    return 0 if graph.is_bounded() else 1
+
+
+def cmd_simulate(args) -> int:
+    """Monte-Carlo timed simulation of a marked-graph STG."""
+    stg = _load(args.spec)
+    with open(args.delays) as f:
+        raw = json.load(f)
+    delays = {k: tuple(v) for k, v in raw.items()}
+    from .timing import simulate
+
+    tmg = TimedMarkedGraph(stg.net, delays)
+    trace = simulate(tmg, cycles=args.cycles, seed=args.seed)
+    reference = sorted(stg.net.transitions)[0]
+    estimate = trace.cycle_time_estimate(reference)
+    print("# %d cycles simulated (seed %d)" % (args.cycles, args.seed))
+    if estimate is not None:
+        print("estimated cycle time (via %s): %.3f" % (reference, estimate))
+    for t in sorted(trace.times):
+        first = trace.times[t][:5]
+        print("%-12s %s" % (t, " ".join("%.2f" % x for x in first)))
+    return 0
+
+
+def cmd_examples(args) -> int:
+    """List the bundled example specifications."""
+    for name in sorted(ALL_EXAMPLES):
+        stg = ALL_EXAMPLES[name]()
+        print("%-32s in=%s out=%s %s"
+              % (name, ",".join(stg.inputs), ",".join(stg.outputs),
+                 stg.net.stats()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STG-based asynchronous interface analysis and"
+                    " synthesis (DAC'98 methodology). SPEC is a .g file or"
+                    " a bundled example name (see `examples`).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="implementability report (Section 2)")
+    p.add_argument("spec")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("states", help="binary-coded state graph (Figure 4)")
+    p.add_argument("spec")
+    p.set_defaults(func=cmd_states)
+
+    p = sub.add_parser("waveform", help="ASCII timing diagram (Figure 2)")
+    p.add_argument("spec")
+    p.set_defaults(func=cmd_waveform)
+
+    p = sub.add_parser("reduce", help="linear reductions + SM components"
+                                      " (Figure 6)")
+    p.add_argument("spec")
+    p.set_defaults(func=cmd_reduce)
+
+    p = sub.add_parser("resolve", help="CSC resolution by signal insertion"
+                                       " (Section 3.1)")
+    p.add_argument("spec")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_resolve)
+
+    p = sub.add_parser("synthesize", help="logic synthesis (Section 3)")
+    p.add_argument("spec")
+    p.add_argument("--arch", choices=sorted(_ARCHITECTURES), default="cg",
+                   help="complex gates (cg), generalized C (gc), RS latch"
+                        " (sr)")
+    p.add_argument("--decompose", action="store_true",
+                   help="two-input hazard-free decomposition (Section 3.4)")
+    p.add_argument("--verilog", action="store_true")
+    p.add_argument("--verify", action="store_true",
+                   help="verify the circuit against the specification")
+    p.set_defaults(func=cmd_synthesize)
+
+    p = sub.add_parser("dot", help="Graphviz DOT of the Petri net")
+    p.add_argument("spec")
+    p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser("separation", help="max time separation of events"
+                                          " (Section 5)")
+    p.add_argument("spec")
+    p.add_argument("early")
+    p.add_argument("late")
+    p.add_argument("--delays", required=True,
+                   help="JSON file: {transition: [min, max], ...}")
+    p.add_argument("--offset", type=int, default=0,
+                   help="occurrence offset of `early` relative to `late`")
+    p.set_defaults(func=cmd_separation)
+
+    p = sub.add_parser("testbench", help="Verilog netlist + self-checking"
+                                         " testbench (Section 6, ref [27])")
+    p.add_argument("spec")
+    p.add_argument("--arch", choices=sorted(_ARCHITECTURES), default="cg")
+    p.add_argument("--cycles", type=int, default=4)
+    p.set_defaults(func=cmd_testbench)
+
+    p = sub.add_parser("coverability", help="Karp–Miller boundedness check")
+    p.add_argument("spec")
+    p.set_defaults(func=cmd_coverability)
+
+    p = sub.add_parser("simulate", help="Monte-Carlo timed simulation")
+    p.add_argument("spec")
+    p.add_argument("--delays", required=True)
+    p.add_argument("--cycles", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("examples", help="list bundled specifications")
+    p.set_defaults(func=cmd_examples)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

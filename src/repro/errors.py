@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Sub-classes are grouped by the pipeline stage
+that raises them (model construction, analysis, synthesis, verification).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """Raised for malformed models (unknown nodes, duplicate names, ...)."""
+
+
+class ParseError(ReproError):
+    """Raised when parsing a textual model description (.g format) fails."""
+
+
+class UnboundedError(ReproError):
+    """Raised when an algorithm requiring a bounded/safe net detects
+    unboundedness (or a violation of 1-safeness)."""
+
+
+class ConsistencyError(ReproError):
+    """Raised when an STG state graph has inconsistent signal codes
+    (rising and falling transitions of a signal do not alternate)."""
+
+
+class CSCError(ReproError):
+    """Raised when Complete State Coding is required but violated and
+    cannot be (or was not) resolved."""
+
+
+class PersistencyError(ReproError):
+    """Raised when a non-input signal transition can be disabled by another
+    transition (a potential hazard source)."""
+
+
+class SynthesisError(ReproError):
+    """Raised when logic synthesis cannot produce an implementation."""
+
+
+class VerificationError(ReproError):
+    """Raised when implementation verification fails fatally (as opposed to
+    returning a report containing failures)."""
+
+
+class StateExplosionError(ReproError):
+    """Raised when a state-space exploration exceeds its configured bound."""

@@ -1,0 +1,93 @@
+"""Immutable, hashable markings.
+
+A marking maps place names to token counts.  Zero-count entries are never
+stored, so two markings are equal iff they mark the same places with the same
+counts.  Markings are hashable and can be used as graph-node keys in
+reachability graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+class Marking:
+    """An immutable multiset of marked places."""
+
+    __slots__ = ("_tokens", "_key")
+
+    def __init__(self, tokens: Mapping[str, int] = ()):
+        cleaned = {p: n for p, n in dict(tokens).items() if n}
+        for p, n in cleaned.items():
+            if n < 0:
+                raise ValueError("negative token count for place %r" % p)
+        self._tokens: Dict[str, int] = cleaned
+        self._key: Tuple[Tuple[str, int], ...] = tuple(sorted(cleaned.items()))
+
+    @classmethod
+    def from_places(cls, places: Iterable[str]) -> "Marking":
+        """Marking with one token in each listed place (repeats accumulate)."""
+        tokens: Dict[str, int] = {}
+        for p in places:
+            tokens[p] = tokens.get(p, 0) + 1
+        return cls(tokens)
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, place: str) -> int:
+        """Token count of a place (0 if unmarked)."""
+        return self._tokens.get(place, 0)
+
+    def __getitem__(self, place: str) -> int:
+        return self._tokens.get(place, 0)
+
+    def __contains__(self, place: str) -> bool:
+        return place in self._tokens
+
+    def places(self) -> Tuple[str, ...]:
+        """Marked place names in sorted order."""
+        return tuple(p for p, _ in self._key)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """Iterate over (place, count) pairs in sorted order."""
+        return iter(self._key)
+
+    def total(self) -> int:
+        """Total number of tokens."""
+        return sum(n for _, n in self._key)
+
+    def is_safe(self) -> bool:
+        """True if no place holds more than one token."""
+        return all(n <= 1 for _, n in self._key)
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+
+    def add(self, delta: Mapping[str, int]) -> "Marking":
+        """New marking with ``delta`` token counts added (may be negative)."""
+        tokens = dict(self._tokens)
+        for p, n in delta.items():
+            tokens[p] = tokens.get(p, 0) + n
+        return Marking(tokens)
+
+    def covers(self, other: "Marking") -> bool:
+        """True if this marking has at least as many tokens everywhere."""
+        return all(self.get(p) >= n for p, n in other.items())
+
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Marking) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __len__(self) -> int:
+        return len(self._key)
+
+    def __repr__(self):
+        inner = ", ".join(
+            p if n == 1 else "%s:%d" % (p, n) for p, n in self._key
+        )
+        return "{%s}" % inner

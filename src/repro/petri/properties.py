@@ -1,0 +1,238 @@
+"""Behavioural properties of Petri nets.
+
+Implements the checks listed in Section 2.1 of the paper that concern the
+underlying net (independent of the signal interpretation):
+
+* **boundedness / safeness** — the state space is finite, and (for
+  implementability as a circuit) every place holds at most one token;
+* **deadlock freedom**;
+* **liveness** (every transition can always eventually fire again) and
+  *home markings*.
+
+Exploration is explicit with a configurable state bound; unboundedness is
+detected either by exceeding the bound with a witness (coverability) or by
+the Karp–Miller style covering test during exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import StateExplosionError
+from .marking import Marking
+from .net import PetriNet
+from .token_game import enabled_transitions, fire
+
+DEFAULT_STATE_BOUND = 1_000_000
+
+
+def explore(net: PetriNet, max_states: int = DEFAULT_STATE_BOUND,
+            detect_unbounded: bool = True) -> Dict[Marking, List[Tuple[str, Marking]]]:
+    """Explicit reachability exploration.
+
+    Returns an adjacency map ``marking -> [(transition, successor)]`` for all
+    reachable markings.  If ``detect_unbounded`` is set, the Karp–Miller
+    covering test is applied along each exploration path: reaching a marking
+    that strictly covers an ancestor proves unboundedness and raises
+    :class:`~repro.errors.StateExplosionError` would be wrong — we raise
+    ``UnboundedError`` from the caller-facing helpers instead; here the
+    offending pair is reported via the exception message.
+
+    Raises :class:`StateExplosionError` when ``max_states`` is exceeded.
+    """
+    from ..errors import UnboundedError
+
+    initial = net.initial_marking
+    graph: Dict[Marking, List[Tuple[str, Marking]]] = {initial: []}
+    # stack entries: (marking, ancestor chain as tuple) for covering test
+    stack: List[Tuple[Marking, Tuple[Marking, ...]]] = [(initial, (initial,))]
+    while stack:
+        marking, ancestors = stack.pop()
+        successors = graph[marking]
+        for t in enabled_transitions(net, marking):
+            succ = fire(net, marking, t, check=False)
+            successors.append((t, succ))
+            if succ not in graph:
+                if detect_unbounded:
+                    for anc in ancestors:
+                        if succ.covers(anc) and succ != anc:
+                            raise UnboundedError(
+                                "net is unbounded: %r strictly covers ancestor %r"
+                                % (succ, anc)
+                            )
+                if len(graph) >= max_states:
+                    raise StateExplosionError(
+                        "reachability exceeded %d states" % max_states
+                    )
+                graph[succ] = []
+                stack.append((succ, ancestors + (succ,)))
+    return graph
+
+
+def reachable_markings(net: PetriNet,
+                       max_states: int = DEFAULT_STATE_BOUND) -> Set[Marking]:
+    """The set of reachable markings (explicit)."""
+    return set(explore(net, max_states))
+
+
+def is_bounded(net: PetriNet, max_states: int = DEFAULT_STATE_BOUND) -> bool:
+    """True iff the reachability set is finite."""
+    from ..errors import UnboundedError
+
+    try:
+        explore(net, max_states)
+        return True
+    except UnboundedError:
+        return False
+
+
+def bound(net: PetriNet, max_states: int = DEFAULT_STATE_BOUND) -> int:
+    """The bound of the net: max token count of any place in any reachable
+    marking.  Raises ``UnboundedError`` for unbounded nets."""
+    markings = explore(net, max_states)
+    best = 0
+    for m in markings:
+        for _, n in m.items():
+            if n > best:
+                best = n
+    return best
+
+
+def is_safe(net: PetriNet, max_states: int = DEFAULT_STATE_BOUND) -> bool:
+    """True iff the net is 1-bounded (safe)."""
+    from ..errors import UnboundedError
+
+    try:
+        return bound(net, max_states) <= 1
+    except UnboundedError:
+        return False
+
+
+def unsafe_witness(net: PetriNet,
+                   max_states: int = DEFAULT_STATE_BOUND) -> Optional[Marking]:
+    """A reachable marking with a place holding >1 token, or None."""
+    for m in explore(net, max_states):
+        if not m.is_safe():
+            return m
+    return None
+
+
+def find_deadlocks(net: PetriNet,
+                   max_states: int = DEFAULT_STATE_BOUND) -> List[Marking]:
+    """All reachable dead markings (no transition enabled)."""
+    graph = explore(net, max_states)
+    return sorted(
+        (m for m, succs in graph.items() if not succs),
+        key=lambda m: repr(m),
+    )
+
+
+def is_deadlock_free(net: PetriNet,
+                     max_states: int = DEFAULT_STATE_BOUND) -> bool:
+    """True iff no reachable marking is dead."""
+    return not find_deadlocks(net, max_states)
+
+
+def _strongly_connected_bottom(graph: Dict[Marking, List[Tuple[str, Marking]]]):
+    """Tarjan SCC; returns (scc_index per marking, list of sccs, bottom flags)."""
+    index: Dict[Marking, int] = {}
+    low: Dict[Marking, int] = {}
+    on_stack: Set[Marking] = set()
+    stack: List[Marking] = []
+    sccs: List[List[Marking]] = []
+    scc_of: Dict[Marking, int] = {}
+    counter = [0]
+
+    def strongconnect(root: Marking) -> None:
+        # iterative Tarjan to avoid recursion limits on big graphs
+        work = [(root, iter(graph[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for _, w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(graph[w])))
+                    advanced = True
+                    break
+                elif w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    scc_of[w] = len(sccs)
+                    if w == v:
+                        break
+                sccs.append(component)
+
+    for m in graph:
+        if m not in index:
+            strongconnect(m)
+
+    bottom = [True] * len(sccs)
+    for m, succs in graph.items():
+        for _, w in succs:
+            if scc_of[w] != scc_of[m]:
+                bottom[scc_of[m]] = False
+    return scc_of, sccs, bottom
+
+
+def is_live(net: PetriNet, max_states: int = DEFAULT_STATE_BOUND) -> bool:
+    """L4-liveness: from every reachable marking, every transition can
+    eventually fire.
+
+    Checked on the reachability graph: every bottom strongly connected
+    component must contain an occurrence of every transition.
+    """
+    graph = explore(net, max_states)
+    scc_of, sccs, bottom = _strongly_connected_bottom(graph)
+    all_transitions = set(net.transitions)
+    for idx, component in enumerate(sccs):
+        if not bottom[idx]:
+            continue
+        fired = set()
+        for m in component:
+            for t, succ in graph[m]:
+                if scc_of[succ] == idx:
+                    fired.add(t)
+        if fired != all_transitions:
+            return False
+    return True
+
+
+def home_markings(net: PetriNet,
+                  max_states: int = DEFAULT_STATE_BOUND) -> Set[Marking]:
+    """Markings reachable from every reachable marking.
+
+    For a strongly connected reachability graph this is the whole set; in
+    general it is the union of bottom SCCs if there is exactly one bottom
+    SCC, and empty otherwise.
+    """
+    graph = explore(net, max_states)
+    scc_of, sccs, bottom = _strongly_connected_bottom(graph)
+    bottoms = [i for i, b in enumerate(bottom) if b]
+    if len(bottoms) != 1:
+        return set()
+    return set(sccs[bottoms[0]])
+
+
+def is_reversible(net: PetriNet,
+                  max_states: int = DEFAULT_STATE_BOUND) -> bool:
+    """True iff the initial marking is a home marking (cyclic behaviour)."""
+    return net.initial_marking in home_markings(net, max_states)

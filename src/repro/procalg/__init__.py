@@ -1,0 +1,26 @@
+"""CSP-style process algebra with syntax-directed STG translation
+(paper Section 6)."""
+
+from .terms import (
+    Choice,
+    Edge,
+    Loop,
+    Par,
+    Seq,
+    Term,
+    choice,
+    compile_process,
+    fall,
+    first_edges,
+    handshake,
+    loop,
+    par,
+    rise,
+    seq,
+)
+
+__all__ = [
+    "Choice", "Edge", "Loop", "Par", "Seq", "Term",
+    "choice", "compile_process", "fall", "first_edges", "handshake",
+    "loop", "par", "rise", "seq",
+]

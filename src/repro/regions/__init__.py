@@ -1,0 +1,22 @@
+"""Region theory: regions of transition systems and PN synthesis /
+back-annotation (paper Section 4)."""
+
+from .region import (
+    ENTER,
+    EXIT,
+    NOCROSS,
+    all_minimal_preregions,
+    event_gradient,
+    excitation_closure_holds,
+    excitation_region,
+    is_region,
+    minimal_regions_containing,
+)
+from .synthesis import extract_stg, synthesize_net
+
+__all__ = [
+    "ENTER", "EXIT", "NOCROSS",
+    "all_minimal_preregions", "event_gradient", "excitation_closure_holds",
+    "excitation_region", "is_region", "minimal_regions_containing",
+    "extract_stg", "synthesize_net",
+]

@@ -1,0 +1,32 @@
+"""Signal Transition Graphs: model, .g format I/O, bundled examples,
+waveform rendering (paper Section 1)."""
+
+from .signals import FALL, RISE, SignalEvent, SignalType
+from .stg import STG
+from .gformat import load_g, parse_g, save_g, write_g
+from .library import (
+    ALL_EXAMPLES,
+    concurrent_latch_controller,
+    handshake_arbiter_free_choice,
+    latch_controller,
+    muller_pipeline,
+    mutex_controller,
+    parallel_handshakes,
+    pipeline_ring,
+    sequencer,
+    vme_read,
+    vme_read_csc,
+    vme_read_write,
+)
+from .contraction import contract_dummy_transitions
+from .waveform import canonical_trace, render_waveforms
+
+__all__ = [
+    "FALL", "RISE", "SignalEvent", "SignalType", "STG",
+    "load_g", "parse_g", "save_g", "write_g",
+    "ALL_EXAMPLES", "concurrent_latch_controller",
+    "handshake_arbiter_free_choice", "latch_controller", "muller_pipeline", "mutex_controller",
+    "parallel_handshakes", "pipeline_ring", "sequencer",
+    "vme_read", "vme_read_csc", "vme_read_write",
+    "canonical_trace", "render_waveforms", "contract_dummy_transitions",
+]

@@ -1,0 +1,121 @@
+"""Dummy (λ) transition contraction.
+
+Syntax-directed translation (:mod:`repro.procalg`) introduces unlabelled
+fork/join transitions.  Before state-based synthesis these are contracted
+away so that every remaining transition is a signal edge.
+
+The contraction is the classic *secure transition contraction*: a dummy
+``t`` with input places ``P`` and output places ``Q`` is replaced by the
+product places ``{(p, q) | p in P, q in Q}``, each inheriting the other
+arcs of ``p`` and ``q`` and the token sum ``M(p) + M(q)``.  The operation
+preserves the signal behaviour when it is *secure*:
+
+* every input place's only consumer is ``t``  (type-1), or
+* every output place's only producer is ``t`` (type-2).
+
+Dummies that are not secure (or carry weighted/self-loop arcs) raise
+:class:`~repro.errors.ModelError`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ModelError
+from .signals import SignalEvent, SignalType
+from .stg import STG
+
+
+def _dummy_transitions(stg: STG) -> List[str]:
+    result = []
+    for t in stg.net.transitions:
+        label = stg.net.label_of(t)
+        if isinstance(label, SignalEvent) and label.is_dummy:
+            result.append(t)
+    return sorted(result)
+
+
+def _contract_one(stg: STG, t: str) -> None:
+    net = stg.net
+    pre = dict(net.pre(t))
+    post = dict(net.post(t))
+    if any(w != 1 for w in list(pre.values()) + list(post.values())):
+        raise ModelError("weighted dummy %r cannot be contracted" % t)
+    if set(pre) & set(post):
+        raise ModelError("self-loop dummy %r cannot be contracted" % t)
+    if not pre or not post:
+        raise ModelError("dangling dummy %r cannot be contracted" % t)
+    type1 = all(set(net.postset(p)) == {t} for p in pre)
+    type2 = all(set(net.preset(q)) == {t} for q in post)
+    if not (type1 or type2):
+        raise ModelError("dummy %r is not secure; contraction would change"
+                         " behaviour" % t)
+
+    inputs = {p: (dict(net.preset(p)), dict(net.postset(p)),
+                  net.places[p].tokens) for p in pre}
+    outputs = {q: (dict(net.preset(q)), dict(net.postset(q)),
+                   net.places[q].tokens) for q in post}
+    net.remove_transition(t)
+    for p in inputs:
+        net.remove_place(p)
+    for q in outputs:
+        net.remove_place(q)
+    for p, (p_in, p_out, p_tokens) in inputs.items():
+        for q, (q_in, q_out, q_tokens) in outputs.items():
+            name = "%s*%s" % (p, q)
+            suffix = 1
+            while name in net:
+                name = "%s*%s~%d" % (p, q, suffix)
+                suffix += 1
+            net.add_place(name, tokens=p_tokens + q_tokens)
+            for u, w in p_in.items():
+                if u != t:
+                    net.add_arc(u, name, w)
+            for u, w in q_in.items():
+                if u != t:
+                    net.add_arc(u, name, w)
+            for u, w in p_out.items():
+                if u != t:
+                    net.add_arc(name, u, w)
+            for u, w in q_out.items():
+                if u != t:
+                    net.add_arc(name, u, w)
+
+
+def contract_dummy_transitions(stg: STG, cleanup: bool = True) -> STG:
+    """Return a copy of the STG with all dummy transitions contracted.
+
+    Dummies are contracted in an order that prefers currently-secure ones;
+    raises :class:`ModelError` if some dummy never becomes secure.
+
+    Product places created by fork/join contraction can be behaviourally
+    redundant (and even non-safe while redundant); with ``cleanup`` (the
+    default) implicit places are removed afterwards, restoring a minimal
+    safe net with the same signal behaviour.
+    """
+    result = stg.copy(stg.name + "_contracted")
+    had_dummies = bool(_dummy_transitions(result))
+    while True:
+        dummies = _dummy_transitions(result)
+        if not dummies:
+            break
+        contracted = False
+        errors = []
+        for t in dummies:
+            try:
+                _contract_one(result, t)
+                contracted = True
+                break
+            except ModelError as exc:
+                errors.append(str(exc))
+        if not contracted:
+            raise ModelError("; ".join(errors))
+    result.signal_types = {
+        s: k for s, k in result.signal_types.items()
+        if k != SignalType.DUMMY
+    }
+    if cleanup and had_dummies:
+        from ..petri.reductions import remove_implicit_places
+
+        result.net = remove_implicit_places(result.net)
+    return result

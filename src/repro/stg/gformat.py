@@ -1,0 +1,195 @@
+"""Reader/writer for the ``.g`` (astg) STG interchange format.
+
+This is the textual format used by petrify/SIS and the asynchronous
+benchmark suites::
+
+    .model vme_read
+    .inputs DSr LDTACK
+    .outputs LDS D DTACK
+    .graph
+    DSr+ LDS+
+    LDS+ LDTACK+
+    p0 DSr+
+    .marking { p0 <LDS-,LDTACK-> }
+    .end
+
+In the ``.graph`` section each line lists a source node followed by its
+successors.  A token of event syntax (``sig+``, ``sig-``, ``sig+/2``) is a
+transition; anything else is a place.  An arc between two transitions goes
+through an *implicit place* named ``<src,dst>``, which is how such places
+are referenced in the ``.marking`` line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..errors import ParseError
+from .signals import SignalEvent, SignalType, _EVENT_RE
+from .stg import STG
+
+
+def _is_event_token(token: str) -> bool:
+    return bool(_EVENT_RE.match(token))
+
+
+def parse_g(text: str, name: Optional[str] = None) -> STG:
+    """Parse a ``.g`` description into an :class:`STG`."""
+    model_name = name or "stg"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    internal: List[str] = []
+    dummy: List[str] = []
+    graph_lines: List[List[str]] = []
+    marking_tokens: List[str] = []
+    in_graph = False
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".model") or line.startswith(".name"):
+            parts = line.split()
+            if len(parts) > 1:
+                model_name = parts[1] if name is None else model_name
+        elif line.startswith(".inputs"):
+            inputs.extend(line.split()[1:])
+        elif line.startswith(".outputs"):
+            outputs.extend(line.split()[1:])
+        elif line.startswith(".internal"):
+            internal.extend(line.split()[1:])
+        elif line.startswith(".dummy"):
+            dummy.extend(line.split()[1:])
+        elif line.startswith(".graph"):
+            in_graph = True
+        elif line.startswith(".marking"):
+            in_graph = False
+            m = re.search(r"\{(.*)\}", line)
+            if not m:
+                raise ParseError("malformed .marking line: %r" % raw)
+            # implicit place tokens <a,b> must survive whitespace splitting
+            body = m.group(1)
+            marking_tokens = re.findall(r"<[^>]*>|[^\s<>]+", body)
+        elif line.startswith(".end"):
+            in_graph = False
+        elif line.startswith("."):
+            # tolerate unknown dot-directives (.capacity, .slowenv, ...)
+            continue
+        elif in_graph:
+            graph_lines.append(line.split())
+
+    stg = STG(model_name, inputs=inputs, outputs=outputs,
+              internal=internal, dummy=dummy)
+
+    # first pass: create transitions (and auto-declare signals referenced
+    # in the graph but not declared — classified as internal, matching
+    # petrify's behaviour for .g files written by tools)
+    tokens = [tok for line in graph_lines for tok in line]
+    for tok in tokens:
+        if _is_event_token(tok):
+            event = SignalEvent.parse(tok)
+            if event.signal not in stg.signal_types:
+                stg.declare_signal(event.signal, SignalType.INTERNAL)
+            if str(event) not in stg.net.transitions:
+                stg.add_event(event)
+    # explicit places
+    for tok in tokens:
+        if not _is_event_token(tok) and tok not in stg.net.places:
+            stg.add_place(tok)
+
+    # second pass: arcs
+    for line in graph_lines:
+        src = line[0]
+        for dst in line[1:]:
+            src_name = str(SignalEvent.parse(src)) if _is_event_token(src) else src
+            dst_name = str(SignalEvent.parse(dst)) if _is_event_token(dst) else dst
+            stg.connect(src_name, dst_name)
+
+    # marking
+    marked: Dict[str, int] = {}
+    for tok in marking_tokens:
+        if tok.startswith("<"):
+            inner = tok[1:-1]
+            try:
+                a, b = inner.split(",")
+            except ValueError:
+                raise ParseError("malformed implicit place token %r" % tok)
+            a = str(SignalEvent.parse(a)) if _is_event_token(a) else a
+            b = str(SignalEvent.parse(b)) if _is_event_token(b) else b
+            pname = "<%s,%s>" % (a, b)
+            if pname not in stg.net.places:
+                raise ParseError("marking references unknown implicit place %r"
+                                 % pname)
+            marked[pname] = marked.get(pname, 0) + 1
+        else:
+            if tok not in stg.net.places:
+                raise ParseError("marking references unknown place %r" % tok)
+            marked[tok] = marked.get(tok, 0) + 1
+    stg.set_initial_marking(marked)
+    stg.validate()
+    return stg
+
+
+def write_g(stg: STG) -> str:
+    """Serialise an :class:`STG` to ``.g`` text.
+
+    Implicit places (single producer, single consumer, auto-named
+    ``<a,b>``) are written as direct transition-to-transition arcs.
+    """
+    lines = [".model %s" % stg.name]
+    if stg.inputs:
+        lines.append(".inputs %s" % " ".join(stg.inputs))
+    if stg.outputs:
+        lines.append(".outputs %s" % " ".join(stg.outputs))
+    if stg.internal:
+        lines.append(".internal %s" % " ".join(stg.internal))
+    dummies = stg.signals_of_type(SignalType.DUMMY)
+    if dummies:
+        lines.append(".dummy %s" % " ".join(dummies))
+    lines.append(".graph")
+
+    implicit = {}
+    for p in stg.net.places:
+        pres = stg.net.preset(p)
+        posts = stg.net.postset(p)
+        if (p.startswith("<") and len(pres) == 1 and len(posts) == 1
+                and list(pres.values()) == [1] and list(posts.values()) == [1]):
+            implicit[p] = (next(iter(pres)), next(iter(posts)))
+
+    emitted = set()
+    for t in sorted(stg.net.transitions):
+        targets = []
+        for p in sorted(stg.net.postset(t)):
+            if p in implicit:
+                targets.append(implicit[p][1])
+                emitted.add((t, p))
+            else:
+                targets.append(p)
+        if targets:
+            lines.append("%s %s" % (t, " ".join(targets)))
+    for p in sorted(stg.net.places):
+        if p in implicit:
+            continue
+        succs = sorted(stg.net.postset(p))
+        if succs:
+            lines.append("%s %s" % (p, " ".join(succs)))
+
+    tokens = []
+    for p, n in stg.initial_marking.items():
+        tokens.extend([p] * n)
+    lines.append(".marking { %s }" % " ".join(sorted(tokens)))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def load_g(path: str) -> STG:
+    """Read a ``.g`` file from disk."""
+    with open(path) as f:
+        return parse_g(f.read())
+
+
+def save_g(stg: STG, path: str) -> None:
+    """Write an STG to a ``.g`` file."""
+    with open(path, "w") as f:
+        f.write(write_g(stg))

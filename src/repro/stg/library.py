@@ -1,0 +1,336 @@
+"""Bundled STG specifications.
+
+Contains the paper's running examples — the VME bus controller READ cycle
+(Figure 3) and the combined READ/WRITE controller with choice (Figure 5) —
+plus a set of constructed controllers and scalable generators used by the
+test and benchmark suites.
+
+Place naming for the READ cycle follows the paper's Figure 3 topology:
+
+====  =======================  ==============================
+p0    LDTACK- -> LDS+          marked initially
+p1    DTACK- -> DSr+           marked initially
+p2    DSr+  -> LDS+
+p3    LDS+  -> LDTACK+
+p4    LDTACK+ -> D+
+p5    D+    -> DTACK+
+p6    DTACK+ -> DSr-
+p7    DSr-  -> D-
+p8    D-    -> DTACK-
+p9    D-    -> LDS-
+p10   LDS-  -> LDTACK-
+====  =======================  ==============================
+
+This yields exactly the 14-state reachability graph of Figure 4 with
+initial code ``0*0.00.0`` in signal order <DSr, DTACK, LDTACK, LDS, D>.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .gformat import parse_g
+from .stg import STG
+from .signals import SignalType
+
+VME_READ_G = """
+.model vme_read
+.inputs DSr LDTACK
+.outputs LDS D DTACK
+.graph
+p0 LDS+
+p1 DSr+
+DSr+ p2
+p2 LDS+
+LDS+ p3
+p3 LDTACK+
+LDTACK+ p4
+p4 D+
+D+ p5
+p5 DTACK+
+DTACK+ p6
+p6 DSr-
+DSr- p7
+p7 D-
+D- p8 p9
+p8 DTACK-
+p9 LDS-
+DTACK- p1
+LDS- p10
+p10 LDTACK-
+LDTACK- p0
+.marking { p0 p1 }
+.end
+"""
+
+VME_READ_WRITE_G = """
+.model vme_read_write
+.inputs DSr DSw LDTACK
+.outputs LDS D DTACK
+.graph
+p0 DSr+ DSw+
+DSr+ LDS+/1
+p3 LDS+/1 LDS+/2
+LDS+/1 LDTACK+/1
+LDTACK+/1 D+/1
+D+/1 DTACK+/1
+DTACK+/1 DSr-
+DSr- D-/1
+D-/1 p1 p2
+DSw+ D+/2
+D+/2 LDS+/2
+LDS+/2 LDTACK+/2
+LDTACK+/2 D-/2
+D-/2 DTACK+/2
+DTACK+/2 DSw-
+DSw- p1 p2
+p1 DTACK-
+DTACK- p0
+p2 LDS-
+LDS- LDTACK-
+LDTACK- p3
+.marking { p0 p3 }
+.end
+"""
+
+
+def vme_read() -> STG:
+    """The paper's READ-cycle STG (Figure 3): a live safe marked graph
+    whose state graph (Figure 4) has 14 states and one CSC conflict."""
+    return parse_g(VME_READ_G)
+
+
+def vme_read_write() -> STG:
+    """The paper's READ/WRITE STG (Figure 5): choice place ``p0`` selects a
+    read or a write transaction; ``p1``/``p2`` merge the branches."""
+    return parse_g(VME_READ_WRITE_G)
+
+
+def vme_read_csc() -> STG:
+    """READ cycle with the paper's csc0 insertion already applied:
+    ``csc0+`` right before ``LDS+`` and ``csc0-`` right before ``D-``
+    (Section 3.1, Figure 7).  Satisfies CSC."""
+    return vme_read().insert_signal("csc0", rise_before=["LDS+"],
+                                    fall_before=["D-"])
+
+
+def latch_controller() -> STG:
+    """A simple fully sequential 4-phase latch (buffer) controller.
+
+    Inputs ``Rin`` (request in) and ``Aout`` (ack from the downstream
+    stage); outputs ``Ain`` and ``Rout``.  One handshake on each side per
+    data item, strictly interleaved — 8 states, CSC satisfied.
+    """
+    text = """
+.model latch_controller
+.inputs Rin Aout
+.outputs Ain Rout
+.graph
+Rin+ Rout+
+Rout+ Aout+
+Aout+ Ain+
+Ain+ Rin-
+Rin- Rout-
+Rout- Aout-
+Aout- Ain-
+Ain- Rin+
+.marking { <Ain-,Rin+> }
+.end
+"""
+    return parse_g(text)
+
+
+def concurrent_latch_controller() -> STG:
+    """A latch controller with input/output handshakes partially decoupled.
+
+    After ``Aout+`` the controller acknowledges the input (``Ain+``) while
+    resetting the output request concurrently.  This controller has a CSC
+    conflict and is used to exercise the encoding machinery on something
+    other than the VME example.
+    """
+    text = """
+.model concurrent_latch_controller
+.inputs Rin Aout
+.outputs Ain Rout
+.graph
+Rin+ Rout+
+p0 Rout+
+Rout+ Aout+
+Aout+ Ain+ Rout-
+Rout- Aout-
+Ain+ Rin-
+Rin- Ain-
+Aout- p0
+Ain- Rin+
+.marking { p0 <Ain-,Rin+> }
+.end
+"""
+    return parse_g(text)
+
+
+def handshake_arbiter_free_choice() -> STG:
+    """Environment chooses between two request channels (free choice).
+
+    Inputs ``r1``/``r2`` are mutually exclusive requests; the controller
+    answers on ``a1``/``a2``.  Exercises input choice (Section 1.5) without
+    needing arbitration.
+    """
+    text = """
+.model handshake_choice
+.inputs r1 r2
+.outputs a1 a2
+.graph
+p0 r1+ r2+
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- p0
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- p0
+.marking { p0 }
+.end
+"""
+    return parse_g(text)
+
+
+def parallel_handshakes(n: int) -> STG:
+    """``n`` completely independent four-phase handshakes.
+
+    Each channel cycles ``r_i+ a_i+ r_i- a_i-``; all channels are mutually
+    concurrent, so the state graph has ``4**n`` states.  The scalable
+    workload for the state-explosion experiments of Section 2.2.
+    """
+    stg = STG("parallel_handshakes_%d" % n)
+    for i in range(n):
+        r, a = "r%d" % i, "a%d" % i
+        stg.declare_signal(r, SignalType.INPUT)
+        stg.declare_signal(a, SignalType.OUTPUT)
+        events = [stg.add_event(e) for e in (r + "+", a + "+", r + "-", a + "-")]
+        for j in range(4):
+            place = stg.connect(events[j], events[(j + 1) % 4])
+            if j == 3:
+                stg.net.places[place].tokens = 1
+    return stg
+
+
+def pipeline_ring(n: int, tokens: int = 1) -> STG:
+    """A ring of ``n`` pipeline-stage events forming a marked graph.
+
+    Event ``t_i`` models stage ``i`` transferring a data item (labelled as
+    an alternating handshake on signal ``s_i``); ``tokens`` items circulate.
+    Used by the timing/performance benchmarks: the cycle time is the total
+    ring delay divided by the token count.
+    """
+    if not 0 < tokens <= n:
+        raise ValueError("tokens must be in 1..n")
+    stg = STG("pipeline_ring_%d_%d" % (n, tokens))
+    events: List[str] = []
+    for i in range(n):
+        s = "s%d" % i
+        stg.declare_signal(s, SignalType.OUTPUT)
+        events.append(stg.add_event(s + ("+" if i % 2 == 0 else "-")))
+    for i in range(n):
+        place = stg.connect(events[i], events[(i + 1) % n])
+        if i >= n - tokens:
+            stg.net.places[place].tokens = 1
+    return stg
+
+
+def sequencer(n: int) -> STG:
+    """A purely sequential n-phase cycle: ``x0+ x1+ ... x0- x1- ...``.
+
+    Every signal is an output; the state graph is a simple cycle of
+    ``2 * n`` states.  Useful as a CSC-clean synthesis smoke test.
+    """
+    stg = STG("sequencer_%d" % n)
+    names = ["x%d" % i for i in range(n)]
+    for s in names:
+        stg.declare_signal(s, SignalType.OUTPUT)
+    events = [stg.add_event(s + "+") for s in names]
+    events += [stg.add_event(s + "-") for s in names]
+    for i, e in enumerate(events):
+        place = stg.connect(e, events[(i + 1) % len(events)])
+        if i == len(events) - 1:
+            stg.net.places[place].tokens = 1
+    return stg
+
+
+def muller_pipeline(n: int) -> STG:
+    """An ``n``-stage Muller pipeline control (a classic SI structure).
+
+    Signals: input request ``c0`` (the environment) and stage outputs
+    ``c1 .. cn``; the last stage's acknowledgement loops back to the
+    environment.  Stage ``i`` fires when its predecessor has new data and
+    its successor has consumed the old one — the marked-graph STG::
+
+        c(i-1)+ -> ci+ -> c(i-1)-  and  ci+ -> c(i+1)+ ...
+
+    Synthesis recovers the textbook result: every stage is a two-input
+    C-element of its neighbours (the set function ``c(i-1)·c(i+1)'`` and
+    reset ``c(i-1)'·c(i+1)`` for the middle stages).
+    """
+    if n < 1:
+        raise ValueError("need at least one stage")
+    stg = STG("muller_pipeline_%d" % n)
+    stg.declare_signal("c0", SignalType.INPUT)
+    for i in range(1, n + 1):
+        stg.declare_signal("c%d" % i, SignalType.OUTPUT)
+    for i in range(n + 1):
+        stg.add_event("c%d+" % i)
+        stg.add_event("c%d-" % i)
+    for i in range(n):
+        # forward propagation: ci+ -> c(i+1)+, ci- -> c(i+1)-
+        stg.connect("c%d+" % i, "c%d+" % (i + 1))
+        stg.connect("c%d-" % i, "c%d-" % (i + 1))
+        # backward acknowledgement: c(i+1)+ -> ci-, c(i+1)- -> ci+
+        stg.connect("c%d+" % (i + 1), "c%d-" % i)
+        place = stg.connect("c%d-" % (i + 1), "c%d+" % i)
+        stg.net.places[place].tokens = 1
+    return stg
+
+
+def mutex_controller() -> STG:
+    """Two clients arbitrating for one resource (paper, Sections 1.5/2.1).
+
+    Requests ``r1``/``r2`` may arrive concurrently; grants ``a1``/``a2``
+    compete for the single resource place, so the two grant transitions
+    disable each other — an *output choice*.  The specification is
+    therefore non-persistent and "cannot be implemented without hazards
+    unless special mutual exclusion elements (arbiters) are used"; the
+    matching implementation is built with
+    :meth:`repro.synth.netlist.Gate.mutex_pair`.
+    """
+    text = """
+.model mutex_controller
+.inputs r1 r2
+.outputs a1 a2
+.graph
+res a1+ a2+
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- res
+a1- r1+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- res
+a2- r2+
+.marking { res <a1-,r1+> <a2-,r2+> }
+.end
+"""
+    return parse_g(text)
+
+
+ALL_EXAMPLES = {
+    "vme_read": vme_read,
+    "vme_read_write": vme_read_write,
+    "vme_read_csc": vme_read_csc,
+    "latch_controller": latch_controller,
+    "concurrent_latch_controller": concurrent_latch_controller,
+    "handshake_arbiter_free_choice": handshake_arbiter_free_choice,
+    "mutex_controller": mutex_controller,
+}
+"""Name -> constructor map of the fixed-size bundled examples."""

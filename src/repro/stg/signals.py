@@ -1,0 +1,115 @@
+"""Signals and signal events for Signal Transition Graphs.
+
+An STG interprets Petri-net transitions as *signal transitions*: rising
+(``a+``) and falling (``a-``) edges of interface or internal signals
+(paper, Section 1.1).  A signal is classified as:
+
+* ``INPUT`` — driven by the environment (e.g. DSr, LDTACK);
+* ``OUTPUT`` — driven by the circuit and observed at the interface
+  (e.g. LDS, D, DTACK);
+* ``INTERNAL`` — driven by the circuit but invisible at the interface
+  (e.g. state-coding signals such as csc0, decomposition signals map0);
+* ``DUMMY`` — an unlabelled event (λ), used by some transformations.
+
+Non-input means OUTPUT or INTERNAL — the signals logic synthesis must
+implement.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Optional, Tuple
+
+from ..errors import ParseError
+
+
+class SignalType(enum.Enum):
+    """Classification of a signal with respect to the circuit boundary."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INTERNAL = "internal"
+    DUMMY = "dummy"
+
+    @property
+    def is_noninput(self) -> bool:
+        """True for signals the circuit must implement (output/internal)."""
+        return self in (SignalType.OUTPUT, SignalType.INTERNAL)
+
+
+RISE = "+"
+FALL = "-"
+
+_EVENT_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_\[\].]*)([+\-~])(?:/(\d+))?$")
+
+
+class SignalEvent:
+    """A signal transition label: signal name, direction, instance index.
+
+    The instance index distinguishes multiple occurrences of the same signal
+    transition in one STG (e.g. ``LDS+/1`` and ``LDS+/2`` in the READ/WRITE
+    specification of Figure 5).  Instance 0 is printed without the suffix.
+    ``direction`` is ``"+"`` (rising), ``"-"`` (falling), or ``"~"`` for a
+    dummy event.
+    """
+
+    __slots__ = ("signal", "direction", "instance")
+
+    def __init__(self, signal: str, direction: str, instance: int = 0):
+        if direction not in (RISE, FALL, "~"):
+            raise ParseError("bad direction %r for signal %r" % (direction, signal))
+        self.signal = signal
+        self.direction = direction
+        self.instance = instance
+
+    @classmethod
+    def parse(cls, text: str) -> "SignalEvent":
+        """Parse ``name+``, ``name-``, ``name+/2`` etc."""
+        m = _EVENT_RE.match(text.strip())
+        if not m:
+            raise ParseError("cannot parse signal event %r" % text)
+        name, direction, instance = m.groups()
+        return cls(name, direction, int(instance) if instance else 0)
+
+    @property
+    def is_rising(self) -> bool:
+        return self.direction == RISE
+
+    @property
+    def is_falling(self) -> bool:
+        return self.direction == FALL
+
+    @property
+    def is_dummy(self) -> bool:
+        return self.direction == "~"
+
+    def base(self) -> Tuple[str, str]:
+        """The (signal, direction) pair without the instance index."""
+        return (self.signal, self.direction)
+
+    def opposite(self, instance: Optional[int] = None) -> "SignalEvent":
+        """The complementary transition (``a+`` for ``a-`` and vice versa)."""
+        flipped = FALL if self.direction == RISE else RISE
+        return SignalEvent(self.signal, flipped,
+                           self.instance if instance is None else instance)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, SignalEvent)
+                and self.signal == other.signal
+                and self.direction == other.direction
+                and self.instance == other.instance)
+
+    def __hash__(self) -> int:
+        return hash((self.signal, self.direction, self.instance))
+
+    def __str__(self):
+        suffix = "/%d" % self.instance if self.instance else ""
+        return "%s%s%s" % (self.signal, self.direction, suffix)
+
+    def __repr__(self):
+        return "SignalEvent(%s)" % self
+
+    def sort_key(self):
+        """Deterministic ordering key (signal, direction, instance)."""
+        return (self.signal, self.direction, self.instance)

@@ -1,0 +1,37 @@
+"""Logic synthesis of speed-independent circuits from STGs (paper
+Section 3)."""
+
+from .netlist import Gate, GateKind, Netlist
+from .nextstate import (
+    NextStateFunction,
+    derive_all_next_state_functions,
+    derive_next_state_function,
+    next_state_table,
+)
+from .complex_gate import equations, synthesize_complex_gates
+from .latch import (
+    check_monotonous_cover,
+    excitation_covers,
+    monotonicity_report,
+    synthesize_gc,
+    synthesize_sr,
+)
+from .hdl import generate_testbench, stimulus_plan
+from .csc import (
+    InsertionCandidate,
+    enumerate_insertions,
+    resolve_by_concurrency_reduction,
+    resolve_csc,
+)
+
+__all__ = [
+    "Gate", "GateKind", "Netlist",
+    "NextStateFunction", "derive_all_next_state_functions",
+    "derive_next_state_function", "next_state_table",
+    "equations", "synthesize_complex_gates",
+    "check_monotonous_cover", "excitation_covers", "monotonicity_report",
+    "synthesize_gc", "synthesize_sr",
+    "generate_testbench", "stimulus_plan",
+    "InsertionCandidate", "enumerate_insertions",
+    "resolve_by_concurrency_reduction", "resolve_csc",
+]

@@ -1,0 +1,157 @@
+"""Latch-based synthesis: generalized C-elements and RS latches
+(paper, Sections 3.2–3.4, Figure 8).
+
+Instead of one complex gate per signal, each signal is implemented as a
+latch (C-element or RS latch) with separate *set* and *reset* excitation
+functions:
+
+* the set function must cover ``ER(z+)`` and be 0 on ``OFF(z)``
+  (= ``ER(z-) ∪ QR(z-)``); it is free on ``QR(z+)`` and on unreachable
+  codes;
+* dually for the reset function.
+
+This is the *monotonous cover* architecture of [1, 14]: if the chosen
+covers rise and fall monotonically along every execution path, the
+two-level-logic + latch implementation is hazard-free.  A static
+sufficient check (:func:`check_monotonous_cover`) is provided; the
+:mod:`repro.verify` composition is the authoritative hazard check used by
+the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SynthesisError
+from ..boolmin.cube import Cube, cube_contains, minterm_to_int
+from ..boolmin.expr import BoolExpr, from_cubes
+from ..boolmin.quine_mccluskey import minimize
+from ..stg.signals import FALL, RISE
+from ..stg.stg import STG
+from ..ts.state_graph import StateGraph, build_state_graph
+from .netlist import Gate, GateKind, Netlist
+
+
+def excitation_covers(sg: StateGraph, signal: str) -> Tuple[List[Cube], List[Cube]]:
+    """Minimized set and reset covers for a signal.
+
+    Returns ``(set_cubes, reset_cubes)`` over ``sg.signal_order``.
+    """
+    er_plus = {minterm_to_int(sg.code(s))
+               for s in sg.excitation_region(signal, RISE)}
+    er_minus = {minterm_to_int(sg.code(s))
+                for s in sg.excitation_region(signal, FALL)}
+    qr_plus = {minterm_to_int(sg.code(s))
+               for s in sg.quiescent_region(signal, RISE)}
+    qr_minus = {minterm_to_int(sg.code(s))
+                for s in sg.quiescent_region(signal, FALL)}
+    n = len(sg.signal_order)
+    unreachable = set(range(1 << n)) - er_plus - er_minus - qr_plus - qr_minus
+    if er_plus & er_minus:
+        raise SynthesisError(
+            "signal %r is both rising and falling for the same code — "
+            "CSC violation" % signal)
+    set_cubes = minimize(sorted(er_plus), sorted(qr_plus | unreachable), n)
+    reset_cubes = minimize(sorted(er_minus), sorted(qr_minus | unreachable), n)
+    return set_cubes, reset_cubes
+
+
+def synthesize_gc(sg_or_stg, name: Optional[str] = None) -> Netlist:
+    """Generalized C-element netlist: one gC per non-input signal."""
+    sg = _as_sg(sg_or_stg)
+    stg = sg.stg
+    netlist = Netlist(name or (stg.name + "_gc"), inputs=stg.inputs)
+    for signal in stg.noninput_signals:
+        set_cubes, reset_cubes = excitation_covers(sg, signal)
+        netlist.add(Gate.c_element(
+            signal,
+            from_cubes(set_cubes, sg.signal_order),
+            from_cubes(reset_cubes, sg.signal_order),
+        ))
+    netlist.validate()
+    return netlist
+
+
+def synthesize_sr(sg_or_stg, name: Optional[str] = None,
+                  dominance: str = "reset") -> Netlist:
+    """RS-latch netlist (Figure 8(b) uses the reset-dominant variant)."""
+    sg = _as_sg(sg_or_stg)
+    stg = sg.stg
+    netlist = Netlist(name or (stg.name + "_sr"), inputs=stg.inputs)
+    for signal in stg.noninput_signals:
+        set_cubes, reset_cubes = excitation_covers(sg, signal)
+        netlist.add(Gate.sr_latch(
+            signal,
+            from_cubes(set_cubes, sg.signal_order),
+            from_cubes(reset_cubes, sg.signal_order),
+            dominance=dominance,
+        ))
+    netlist.validate()
+    return netlist
+
+
+def check_monotonous_cover(sg: StateGraph, signal: str,
+                           cover: Sequence[Cube],
+                           direction: str = RISE) -> List[str]:
+    """Static sufficient conditions for a monotonous cover.
+
+    For a set cover (``direction == RISE``) of signal ``z``, checks along
+    every SG arc ``s -> s'``:
+
+    * the cover value may rise only when entering ``ER(z+)``;
+    * the cover value may fall only inside ``QR(z+)`` (i.e. after ``z+``
+      has fired) or when leaving it;
+    * the cover is 1 on all of ``ER(z+)`` and 0 on ``ER(z-) ∪ QR(z-)``.
+
+    Returns a list of human-readable violation descriptions (empty when the
+    cover is monotonous).  Dual conditions apply for reset covers.
+    """
+    er = sg.excitation_region(signal, direction)
+    opposite = FALL if direction == RISE else RISE
+    er_opp = sg.excitation_region(signal, opposite)
+    qr = sg.quiescent_region(signal, direction)
+    qr_opp = sg.quiescent_region(signal, opposite)
+
+    def cover_value(state) -> int:
+        code = sg.code(state)
+        return 1 if any(cube_contains(c, code) for c in cover) else 0
+
+    violations: List[str] = []
+    for state in sg.states:
+        if state in er and not cover_value(state):
+            violations.append("cover misses ER state %r" % (state,))
+        if (state in er_opp or state in qr_opp) and cover_value(state):
+            violations.append("cover intersects OFF state %r" % (state,))
+    for state in sg.states:
+        v = cover_value(state)
+        for event, succ in sg.ts.successors(state):
+            w = cover_value(succ)
+            if v == 0 and w == 1 and succ not in er:
+                violations.append(
+                    "cover rises on %r -> %r (%s) outside ER(%s%s)"
+                    % (state, succ, event, signal, direction))
+            if v == 1 and w == 0 and state not in qr:
+                violations.append(
+                    "cover falls on %r -> %r (%s) before %s%s fired"
+                    % (state, succ, event, signal, direction))
+    return violations
+
+
+def monotonicity_report(sg_or_stg) -> Dict[str, List[str]]:
+    """Monotonous-cover violations of the minimized set/reset covers of
+    every non-input signal (empty lists everywhere = all monotonous)."""
+    sg = _as_sg(sg_or_stg)
+    report: Dict[str, List[str]] = {}
+    for signal in sg.stg.noninput_signals:
+        set_cubes, reset_cubes = excitation_covers(sg, signal)
+        report[signal] = (
+            check_monotonous_cover(sg, signal, set_cubes, RISE)
+            + check_monotonous_cover(sg, signal, reset_cubes, FALL)
+        )
+    return report
+
+
+def _as_sg(sg_or_stg) -> StateGraph:
+    if isinstance(sg_or_stg, STG):
+        return build_state_graph(sg_or_stg)
+    return sg_or_stg

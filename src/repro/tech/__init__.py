@@ -1,0 +1,18 @@
+"""Decomposition and technology mapping into restricted-fan-in libraries
+(paper Section 3.4)."""
+
+from .library import (
+    Cell,
+    SEQUENTIAL_CELLS,
+    TWO_INPUT_LIBRARY,
+    is_fully_mapped,
+    map_netlist,
+    match_combinational,
+)
+from .decompose import algebraic_divisors, decompose
+
+__all__ = [
+    "Cell", "SEQUENTIAL_CELLS", "TWO_INPUT_LIBRARY", "is_fully_mapped",
+    "map_netlist", "match_combinational",
+    "algebraic_divisors", "decompose",
+]

@@ -1,0 +1,29 @@
+"""Timing: relative-timing constraints, time separation of events,
+performance analysis (paper Section 5)."""
+
+from .constraints import (
+    LazySTG,
+    SeparationConstraint,
+    apply_timing_assumption,
+    timed_state_graph,
+)
+from .separation import (
+    TimedMarkedGraph,
+    UnrolledGraph,
+    max_separation,
+    max_separation_unrolled,
+    validates_assumption,
+)
+from .performance import (bottleneck_report, critical_cycle, cycle_time,
+                          delay_slack, latency, throughput)
+from .simulate import SimulationTrace, empirical_max_separation, simulate
+
+__all__ = [
+    "LazySTG", "SeparationConstraint", "apply_timing_assumption",
+    "timed_state_graph",
+    "TimedMarkedGraph", "UnrolledGraph", "max_separation",
+    "max_separation_unrolled", "validates_assumption",
+    "bottleneck_report", "critical_cycle", "cycle_time", "delay_slack",
+    "latency", "throughput",
+    "SimulationTrace", "empirical_max_separation", "simulate",
+]

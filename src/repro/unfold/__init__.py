@@ -1,0 +1,6 @@
+"""Unfoldings: McMillan finite complete prefixes and ordering relations
+(paper Section 2.2)."""
+
+from .unfolder import Condition, Event, Unfolding, unfold
+
+__all__ = ["Condition", "Event", "Unfolding", "unfold"]

@@ -1,0 +1,310 @@
+"""McMillan finite complete prefixes of safe Petri nets
+(paper, Section 2.2, refs [18, 15]).
+
+The *unfolding* of a net is an acyclic occurrence net representing all its
+behaviours; a *finite complete prefix* truncates it at cut-off events while
+still representing every reachable marking.  "They are often more compact
+than the reachability graph and due to the acyclic property are well-suited
+for extracting ordering relations between places and transitions
+(concurrency, conflict and precedence)."
+
+Implementation: the classic McMillan algorithm —
+
+* conditions are (place, producing event) pairs; events are
+  (transition, co-set of conditions) pairs;
+* possible extensions are found by matching presets against concurrent
+  condition sets;
+* an event is a *cut-off* if some earlier event has the same marking of its
+  local configuration with a strictly smaller local configuration.
+
+Ordering relations between events (precedes / in conflict / concurrent)
+are provided on the computed prefix.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import ModelError, StateExplosionError
+from ..petri.marking import Marking
+from ..petri.net import PetriNet
+
+
+class Condition:
+    """An occurrence of a place (a token) in the unfolding."""
+
+    __slots__ = ("cid", "place", "producer")
+
+    def __init__(self, cid: int, place: str, producer: Optional[int]):
+        self.cid = cid
+        self.place = place
+        self.producer = producer  # event id, None for initial conditions
+
+    def __repr__(self):
+        return "c%d(%s)" % (self.cid, self.place)
+
+
+class Event:
+    """An occurrence of a transition in the unfolding."""
+
+    __slots__ = ("eid", "transition", "preset", "postset", "local_config",
+                 "marking", "cutoff")
+
+    def __init__(self, eid: int, transition: str,
+                 preset: Tuple[int, ...], local_config: FrozenSet[int],
+                 marking: Marking):
+        self.eid = eid
+        self.transition = transition
+        self.preset = preset
+        self.postset: Tuple[int, ...] = ()
+        self.local_config = local_config  # event ids incl. self
+        self.marking = marking            # marking of the local config's cut
+        self.cutoff = False
+
+    def __repr__(self):
+        return "e%d(%s)%s" % (self.eid, self.transition,
+                              "!" if self.cutoff else "")
+
+
+class Unfolding:
+    """A finite complete prefix of a safe net's unfolding."""
+
+    def __init__(self, net: PetriNet):
+        self.net = net
+        self.conditions: List[Condition] = []
+        self.events: List[Event] = []
+        self.co: Dict[int, Set[int]] = {}  # condition id -> concurrent ids
+
+    # -- size ----------------------------------------------------------- #
+
+    def stats(self) -> Dict[str, int]:
+        """Prefix size: conditions, events, cutoffs."""
+        return {
+            "conditions": len(self.conditions),
+            "events": len(self.events),
+            "cutoffs": sum(1 for e in self.events if e.cutoff),
+        }
+
+    # -- ordering relations (paper ref [15]) ----------------------------- #
+
+    def event_predecessors(self, eid: int) -> FrozenSet[int]:
+        """Causal predecessors of an event (its local configuration minus
+        itself)."""
+        return self.events[eid].local_config - {eid}
+
+    def precedes(self, e1: int, e2: int) -> bool:
+        """Causal precedence between two events of the prefix."""
+        return e1 in self.events[e2].local_config and e1 != e2
+
+    def in_conflict(self, e1: int, e2: int) -> bool:
+        """Structural conflict: the local configurations consume a common
+        condition through different events."""
+        if e1 == e2:
+            return False
+        consumed: Dict[int, int] = {}
+        for eid in self.events[e1].local_config:
+            for c in self.events[eid].preset:
+                consumed[c] = eid
+        for eid in self.events[e2].local_config:
+            for c in self.events[eid].preset:
+                if c in consumed and consumed[c] != eid:
+                    return True
+        return False
+
+    def concurrent(self, e1: int, e2: int) -> bool:
+        """Concurrency: neither ordered nor in conflict."""
+        return (e1 != e2 and not self.precedes(e1, e2)
+                and not self.precedes(e2, e1)
+                and not self.in_conflict(e1, e2))
+
+    # -- represented markings -------------------------------------------- #
+
+    def represented_markings(self) -> Set[Marking]:
+        """All markings of local-configuration cuts, plus the markings of
+        all configurations (enumerated) — for a *complete* prefix this is
+        the full reachability set.  Exponential; use on small prefixes
+        (it exists to validate completeness in the test suite)."""
+        initial = [c.cid for c in self.conditions if c.producer is None]
+        result: Set[Marking] = set()
+        # enumerate configurations by DFS over downward-closed, conflict-free
+        # event sets
+        consumed_by: Dict[int, List[int]] = {}
+        for e in self.events:
+            for c in e.preset:
+                consumed_by.setdefault(c, []).append(e.eid)
+
+        def cut_marking(config: FrozenSet[int]) -> Marking:
+            tokens: Dict[str, int] = {}
+            cut = set(initial)
+            for eid in sorted(config):
+                for c in self.events[eid].preset:
+                    cut.discard(c)
+                cut.update(self.events[eid].postset)
+            for cid in cut:
+                place = self.conditions[cid].place
+                tokens[place] = tokens.get(place, 0) + 1
+            return Marking(tokens)
+
+        seen: Set[FrozenSet[int]] = set()
+        stack: List[FrozenSet[int]] = [frozenset()]
+        while stack:
+            config = stack.pop()
+            if config in seen:
+                continue
+            seen.add(config)
+            result.add(cut_marking(config))
+            # extend by any event whose preset is in the current cut
+            cut = set(initial)
+            for eid in sorted(config):
+                for c in self.events[eid].preset:
+                    cut.discard(c)
+                cut.update(self.events[eid].postset)
+            for e in self.events:
+                if e.eid in config:
+                    continue
+                if all(c in cut for c in e.preset):
+                    stack.append(config | {e.eid})
+        return result
+
+
+def unfold(net: PetriNet, max_events: int = 10_000) -> Unfolding:
+    """Compute a McMillan finite complete prefix of a safe net."""
+    if not net.has_ordinary_arcs():
+        raise ModelError("unfolding requires arc weights of 1")
+    unf = Unfolding(net)
+
+    def add_condition(place: str, producer: Optional[int]) -> Condition:
+        c = Condition(len(unf.conditions), place, producer)
+        unf.conditions.append(c)
+        unf.co[c.cid] = set()
+        return c
+
+    # initial conditions: pairwise concurrent
+    initial_marking = net.initial_marking
+    initial_conditions: List[Condition] = []
+    for place, count in initial_marking.items():
+        for _ in range(count):
+            initial_conditions.append(add_condition(place, None))
+    for a in initial_conditions:
+        for b in initial_conditions:
+            if a.cid != b.cid:
+                unf.co[a.cid].add(b.cid)
+
+    marking_table: Dict[Marking, int] = {initial_marking: 0}
+
+    # possible-extension queue ordered by |local configuration|
+    counter = itertools.count()
+    queue: List[Tuple[int, int, str, Tuple[int, ...]]] = []
+
+    def local_config_of(preset: Tuple[int, ...]) -> FrozenSet[int]:
+        config: Set[int] = set()
+        stack = [unf.conditions[c].producer for c in preset]
+        while stack:
+            eid = stack.pop()
+            if eid is None or eid in config:
+                continue
+            config.add(eid)
+            for c in unf.events[eid].preset:
+                stack.append(unf.conditions[c].producer)
+        return frozenset(config)
+
+    def cut_marking(config: FrozenSet[int]) -> Marking:
+        cut = {c.cid for c in initial_conditions}
+        for eid in sorted(config):
+            for c in unf.events[eid].preset:
+                cut.discard(c)
+            cut.update(unf.events[eid].postset)
+        tokens: Dict[str, int] = {}
+        for cid in cut:
+            place = unf.conditions[cid].place
+            tokens[place] = tokens.get(place, 0) + 1
+        return Marking(tokens)
+
+    def find_extensions(new_condition: Optional[Condition]) -> None:
+        """Enqueue instantiations of transitions whose preset can be matched
+        with a co-set (containing new_condition if given)."""
+        by_place: Dict[str, List[Condition]] = {}
+        for c in unf.conditions:
+            by_place.setdefault(c.place, []).append(c)
+        for t in sorted(net.transitions):
+            pre_places = sorted(net.pre(t))
+            if new_condition is not None and \
+                    new_condition.place not in pre_places:
+                continue
+            pools = [by_place.get(p, []) for p in pre_places]
+            if any(not pool for pool in pools):
+                continue
+            for combo in itertools.product(*pools):
+                cids = tuple(sorted(c.cid for c in combo))
+                if len(set(cids)) != len(cids):
+                    continue
+                if new_condition is not None and \
+                        new_condition.cid not in cids:
+                    continue
+                # pairwise concurrency
+                ok = True
+                for i in range(len(cids)):
+                    for j in range(i + 1, len(cids)):
+                        if cids[j] not in unf.co[cids[i]]:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                if not ok:
+                    continue
+                if any(e.transition == t and e.preset == cids
+                       for e in unf.events):
+                    continue
+                config = local_config_of(cids)
+                heapq.heappush(queue, (len(config) + 1, next(counter),
+                                       t, cids))
+
+    find_extensions(None)
+
+    enqueued_done: Set[Tuple[str, Tuple[int, ...]]] = set()
+    while queue:
+        size, _, t, preset = heapq.heappop(queue)
+        key = (t, preset)
+        if key in enqueued_done:
+            continue
+        enqueued_done.add(key)
+        # preset conditions may have been consumed only in alternative
+        # branches — occurrence nets never invalidate a co-set
+        config = local_config_of(preset) | set()
+        eid = len(unf.events)
+        if eid >= max_events:
+            raise StateExplosionError("unfolding exceeded %d events"
+                                      % max_events)
+        full_config = frozenset(config | {eid})
+        event = Event(eid, t, preset, full_config, Marking({}))
+        unf.events.append(event)
+        post_conditions = []
+        for place in sorted(net.post(t)):
+            post_conditions.append(add_condition(place, eid))
+        event.postset = tuple(c.cid for c in post_conditions)
+        event.marking = cut_marking(full_config)
+
+        # concurrency update: co(new) = (∩ co(preset)) \ preset ∪ siblings
+        common: Optional[Set[int]] = None
+        for c in preset:
+            common = set(unf.co[c]) if common is None else common & unf.co[c]
+        common = (common or set()) - set(preset)
+        for c in post_conditions:
+            unf.co[c.cid] = set(common) | {
+                s.cid for s in post_conditions if s.cid != c.cid
+            }
+            for other in common:
+                unf.co[other].add(c.cid)
+
+        # cutoff test (McMillan): same marking, smaller local config
+        prior = marking_table.get(event.marking)
+        if prior is not None and prior < len(full_config):
+            event.cutoff = True
+            continue
+        if prior is None or prior > len(full_config):
+            marking_table[event.marking] = len(full_config)
+        for c in post_conditions:
+            find_extensions(c)
+    return unf

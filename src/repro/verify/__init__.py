@@ -1,0 +1,23 @@
+"""Speed-independence verification of gate netlists against STG
+specifications (paper Sections 2.1 and 3.4)."""
+
+from .spec_composition import (
+    check_connection,
+    compose_specifications,
+    compose_to_stg,
+    composed_signal_types,
+)
+from .composition import (
+    ConformanceFailure,
+    Hazard,
+    VerificationReport,
+    stable_internal_values,
+    verify_circuit,
+)
+
+__all__ = [
+    "check_connection", "compose_specifications", "compose_to_stg",
+    "composed_signal_types",
+    "ConformanceFailure", "Hazard", "VerificationReport",
+    "stable_internal_values", "verify_circuit",
+]

@@ -1,0 +1,313 @@
+"""Implementation verification: circuit ⊗ environment composition
+(paper, Section 2.1 "implementation verification" and Section 3.4).
+
+The closed system is explored explicitly under speed-independent
+semantics:
+
+* the **environment** behaves as the STG specification: it may fire any
+  enabled *input* transition;
+* each **gate** of the netlist is *excited* when its next-value function
+  differs from its current output; an excited gate may fire at any time
+  (unbounded gate delays);
+* when a gate drives an **interface** signal, its firing must be enabled in
+  the specification — otherwise the circuit produced an output the
+  environment does not expect (**conformance failure**);
+* an excited gate whose excitation is *withdrawn* by another event without
+  having fired is a **hazard** (a potential glitch) — this is the
+  semi-modularity / persistency criterion the paper uses throughout
+  (e.g. to reject the decomposition of Figure 9(b)).
+
+Relative-timing assumptions (Section 5) are supported as *priority pairs*
+``(early, late)``: in any state where both events are firable, the late
+one is pruned — the lazy-transition semantics used for the Figure 11
+circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import StateExplosionError, VerificationError
+from ..petri.marking import Marking
+from ..petri.token_game import fire, is_enabled
+from ..stg.signals import FALL, RISE, SignalEvent
+from ..stg.stg import STG
+from ..synth.netlist import Netlist
+from ..ts.state_graph import build_state_graph
+from ..ts.transition_system import TransitionSystem
+
+CompositionState = Tuple[Marking, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """Gate ``signal`` was excited in ``state`` and firing ``by`` withdrew
+    the excitation before the gate fired."""
+
+    signal: str
+    by: str
+    trace: Tuple[str, ...]
+
+    def __str__(self):
+        return "hazard on %s: excitation withdrawn by %s (trace: %s)" % (
+            self.signal, self.by, " ".join(self.trace) or "<initial>")
+
+
+@dataclass(frozen=True)
+class ConformanceFailure:
+    """The circuit fired ``event`` in a state where the specification does
+    not allow it."""
+
+    event: str
+    trace: Tuple[str, ...]
+
+    def __str__(self):
+        return "conformance failure: circuit fired %s unexpectedly" \
+            " (trace: %s)" % (self.event, " ".join(self.trace) or "<initial>")
+
+
+@dataclass
+class VerificationReport:
+    """Result of composing a netlist with its specification."""
+
+    netlist_name: str
+    spec_name: str
+    states: int = 0
+    hazards: List[Hazard] = field(default_factory=list)
+    failures: List[ConformanceFailure] = field(default_factory=list)
+    deadlocks: List[CompositionState] = field(default_factory=list)
+    ts: Optional[TransitionSystem] = None
+
+    @property
+    def hazard_free(self) -> bool:
+        return not self.hazards
+
+    @property
+    def conformant(self) -> bool:
+        return not self.failures
+
+    @property
+    def deadlock_free(self) -> bool:
+        return not self.deadlocks
+
+    @property
+    def ok(self) -> bool:
+        """Speed independent and conformant."""
+        return self.hazard_free and self.conformant and self.deadlock_free
+
+    def summary(self) -> str:
+        """Multi-line human-readable verdict."""
+        lines = [
+            "Verification of %s against %s" % (self.netlist_name,
+                                               self.spec_name),
+            "  composed states: %d" % self.states,
+            "  conformant:      %s (%d failures)" % (self.conformant,
+                                                     len(self.failures)),
+            "  hazard-free:     %s (%d hazards)" % (self.hazard_free,
+                                                    len(self.hazards)),
+            "  deadlock-free:   %s" % self.deadlock_free,
+            "  speed-independent implementation: %s" % self.ok,
+        ]
+        for h in self.hazards[:5]:
+            lines.append("    " + str(h))
+        for f in self.failures[:5]:
+            lines.append("    " + str(f))
+        return "\n".join(lines)
+
+
+def stable_internal_values(netlist: Netlist, values: Dict[str, int],
+                           internal: Sequence[str],
+                           max_iterations: int = 100) -> Dict[str, int]:
+    """Settle internal (non-spec) gate outputs to a stable fixpoint given
+    fixed interface values.  Raises VerificationError on oscillation."""
+    env = dict(values)
+    for name in internal:
+        env.setdefault(name, 0)
+    for _ in range(max_iterations):
+        changed = False
+        for name in internal:
+            new = netlist.gates[name].next_value(env)
+            if new != env[name]:
+                env[name] = new
+                changed = True
+        if not changed:
+            return {name: env[name] for name in internal}
+    raise VerificationError(
+        "internal signals %r do not settle for the initial interface values"
+        % list(internal))
+
+
+def verify_circuit(netlist: Netlist, spec: STG,
+                   priorities: Sequence[Tuple[str, str]] = (),
+                   initial_internal: Optional[Mapping[str, int]] = None,
+                   max_states: int = 500_000,
+                   stop_at_first: bool = False,
+                   keep_ts: bool = False) -> VerificationReport:
+    """Explore the circuit ⊗ environment composition and report hazards,
+    conformance failures and deadlocks.
+
+    ``priorities`` lists relative-timing assumptions ``(early, late)`` as
+    event strings (e.g. ``("LDTACK-", "DSr+")``): whenever both are
+    firable, the late one is pruned.
+    """
+    netlist.validate()
+    spec_sg = build_state_graph(spec)
+    spec_signals = set(spec.signals)
+    interface_outputs = [s for s in netlist.gates if s in spec_signals]
+    internal = [s for s in netlist.gates if s not in spec_signals]
+    for s in spec.noninput_signals:
+        if s not in netlist.gates:
+            raise VerificationError(
+                "netlist does not drive specified non-input signal %r" % s)
+
+    initial_values: Dict[str, int] = {
+        s: spec_sg.initial_values[s] for s in spec_signals
+    }
+    if initial_internal is not None:
+        initial_values.update(initial_internal)
+        missing = [s for s in internal if s not in initial_values]
+        if missing:
+            raise VerificationError("missing initial values for %r" % missing)
+    else:
+        initial_values.update(
+            stable_internal_values(netlist, initial_values, internal))
+
+    all_signals = sorted(set(netlist.signals()) | spec_signals)
+    index = {s: i for i, s in enumerate(all_signals)}
+    initial: CompositionState = (
+        spec.initial_marking,
+        tuple(initial_values[s] for s in all_signals),
+    )
+
+    report = VerificationReport(netlist.name, spec.name)
+    parent: Dict[CompositionState, Tuple[Optional[CompositionState], str]] = {
+        initial: (None, "")
+    }
+
+    def trace_of(state: CompositionState) -> Tuple[str, ...]:
+        events: List[str] = []
+        cursor: Optional[CompositionState] = state
+        while cursor is not None:
+            prev, ev = parent[cursor]
+            if prev is not None:
+                events.append(ev)
+            cursor = prev
+        return tuple(reversed(events))
+
+    def env(state: CompositionState) -> Dict[str, int]:
+        return {s: state[1][i] for s, i in index.items()}
+
+    def moves(state: CompositionState):
+        """Yield (event_str, successor or None-for-failure, is_gate)."""
+        marking, values = state
+        valuemap = env(state)
+        result = []
+        # environment moves: enabled input transitions of the spec
+        for t in spec.net.transitions:
+            event = spec.event_of(t)
+            if spec.type_of(event.signal).is_noninput or event.is_dummy:
+                continue
+            if not is_enabled(spec.net, marking, t):
+                continue
+            new_marking = fire(spec.net, marking, t, check=False)
+            new_values = list(values)
+            new_values[index[event.signal]] = 1 if event.is_rising else 0
+            result.append((str(event.base()[0] + event.base()[1]),
+                           (new_marking, tuple(new_values)), t))
+        # gate moves
+        for signal in sorted(netlist.gates):
+            gate = netlist.gates[signal]
+            current = valuemap[signal]
+            if gate.next_value(valuemap) == current:
+                continue
+            direction = RISE if current == 0 else FALL
+            event_str = signal + direction
+            new_values = list(values)
+            new_values[index[signal]] = 1 - current
+            if signal in spec_signals:
+                # must be matched by an enabled spec transition
+                matches = [
+                    t for t in spec.net.transitions
+                    if spec.event_of(t).base() == (signal, direction)
+                    and is_enabled(spec.net, marking, t)
+                ]
+                if not matches:
+                    result.append((event_str, None, None))
+                    continue
+                for t in matches:
+                    new_marking = fire(spec.net, marking, t, check=False)
+                    result.append((event_str,
+                                   (new_marking, tuple(new_values)), t))
+            else:
+                result.append((event_str, (marking, tuple(new_values)), None))
+        # apply relative-timing priorities
+        if priorities:
+            present = {ev for ev, _, _ in result}
+            pruned = {late for early, late in priorities
+                      if early in present and late in present}
+            result = [m for m in result if m[0] not in pruned]
+        return result
+
+    def excited_gates(state: CompositionState) -> Set[str]:
+        valuemap = env(state)
+        return {
+            s for s, g in netlist.gates.items()
+            if g.next_value(valuemap) != valuemap[s]
+        }
+
+    ts = TransitionSystem(initial) if keep_ts else None
+    stack: List[CompositionState] = [initial]
+    visited: Set[CompositionState] = {initial}
+    seen_hazards: Set[Tuple[str, str, CompositionState]] = set()
+    while stack:
+        state = stack.pop()
+        state_moves = moves(state)
+        excited_before = excited_gates(state)
+        if not state_moves:
+            report.deadlocks.append(state)
+            continue
+        for event_str, successor, _ in state_moves:
+            if successor is None:
+                report.failures.append(ConformanceFailure(
+                    event_str, trace_of(state)))
+                if stop_at_first:
+                    report.states = len(visited)
+                    report.ts = ts
+                    return report
+                continue
+            # hazard check: every gate excited before must stay excited
+            # after, unless it is the one that fired
+            fired_signal = event_str[:-1]
+            excited_after = excited_gates(successor)
+            for z in excited_before:
+                if z == fired_signal:
+                    continue
+                if netlist.gates[z].arbiter:
+                    # mutual-exclusion element halves resolve their
+                    # conflict internally (paper, Section 2.1)
+                    continue
+                zvalue_before = state[1][index[z]]
+                zvalue_after = successor[1][index[z]]
+                if z not in excited_after and zvalue_before == zvalue_after:
+                    key = (z, event_str, state)
+                    if key not in seen_hazards:
+                        seen_hazards.add(key)
+                        report.hazards.append(Hazard(
+                            z, event_str, trace_of(state)))
+                        if stop_at_first:
+                            report.states = len(visited)
+                            report.ts = ts
+                            return report
+            if ts is not None:
+                ts.add_arc(state, event_str, successor)
+            if successor not in visited:
+                if len(visited) >= max_states:
+                    raise StateExplosionError(
+                        "composition exceeded %d states" % max_states)
+                visited.add(successor)
+                parent[successor] = (state, event_str)
+                stack.append(successor)
+    report.states = len(visited)
+    report.ts = ts
+    return report

@@ -1,0 +1,61 @@
+"""Shared fixtures: the paper's example specifications and derived objects."""
+
+import pytest
+
+from repro.stg import (
+    concurrent_latch_controller,
+    handshake_arbiter_free_choice,
+    latch_controller,
+    vme_read,
+    vme_read_csc,
+    vme_read_write,
+)
+from repro.ts import build_state_graph
+
+
+@pytest.fixture
+def read_stg():
+    """Figure 3: the READ-cycle STG."""
+    return vme_read()
+
+
+@pytest.fixture
+def read_write_stg():
+    """Figure 5: the READ/WRITE STG with choice."""
+    return vme_read_write()
+
+
+@pytest.fixture
+def read_csc_stg():
+    """Figure 7's STG: READ cycle with csc0 inserted."""
+    return vme_read_csc()
+
+
+@pytest.fixture
+def read_sg(read_stg):
+    """Figure 4: the 14-state state graph of the READ cycle."""
+    return build_state_graph(read_stg)
+
+
+@pytest.fixture
+def read_csc_sg(read_csc_stg):
+    return build_state_graph(read_csc_stg)
+
+
+@pytest.fixture
+def latch_stg():
+    return latch_controller()
+
+
+@pytest.fixture
+def concurrent_latch_stg():
+    return concurrent_latch_controller()
+
+
+@pytest.fixture
+def choice_stg():
+    return handshake_arbiter_free_choice()
+
+
+PAPER_SIGNAL_ORDER = ["DSr", "DTACK", "LDTACK", "LDS", "D"]
+PAPER_GROUPS = [["DSr", "DTACK"], ["LDTACK", "LDS"], ["D"]]

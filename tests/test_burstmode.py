@@ -1,0 +1,128 @@
+"""Burst-mode machines and fundamental-mode synthesis (paper §3.3, §6)."""
+
+import pytest
+
+from repro.errors import ModelError, SynthesisError
+from repro.boolmin import equivalent, parse_expr
+from repro.burstmode import (
+    BurstModeMachine,
+    burst,
+    concur_mixer_bm,
+    format_burst,
+    selector_bm,
+    simple_handshake_bm,
+    simulate_fundamental_mode,
+    synthesize_burst_mode,
+)
+from repro.stg import vme_read
+from repro.synth import Gate, Netlist
+from repro.verify import verify_circuit
+
+
+class TestModel:
+    def test_burst_parsing(self):
+        b = burst("a+", "b-")
+        assert ("a", "+") in b and ("b", "-") in b
+        assert format_burst(b) == "a+ b-"
+
+    def test_bad_edge(self):
+        with pytest.raises(ModelError):
+            burst("a")
+
+    def test_empty_input_burst_rejected(self):
+        m = BurstModeMachine("m", ["a"], ["y"], "s0")
+        with pytest.raises(ModelError):
+            m.add_transition("s0", [], ["y+"], "s1")
+
+    def test_undeclared_signal_rejected(self):
+        m = BurstModeMachine("m", ["a"], ["y"], "s0")
+        with pytest.raises(ModelError):
+            m.add_transition("s0", ["zz+"], [], "s1")
+
+    def test_state_values_propagation(self):
+        m = simple_handshake_bm()
+        values = m.state_values()
+        assert values["s0"] == {"req": 0, "ack": 0}
+        assert values["s1"] == {"req": 1, "ack": 1}
+
+    def test_polarity_error_detected(self):
+        m = BurstModeMachine("m", ["a"], ["y"], "s0")
+        m.add_transition("s0", ["a+"], [], "s1")
+        m.add_transition("s1", ["a+"], [], "s2")  # a already high
+        with pytest.raises(ModelError):
+            m.state_values()
+
+    def test_maximal_set_property(self):
+        m = BurstModeMachine("m", ["a", "b"], ["y"], "s0")
+        m.add_transition("s0", ["a+"], [], "s1")
+        m.add_transition("s0", ["a+", "b+"], ["y+"], "s2")
+        with pytest.raises(ModelError):
+            m.validate()
+
+    def test_nondeterminism_detected(self):
+        m = BurstModeMachine("m", ["a"], ["y"], "s0")
+        m.add_transition("s0", ["a+"], [], "s1")
+        m.add_transition("s0", ["a+"], ["y+"], "s2")
+        with pytest.raises(ModelError):
+            m.validate()
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("maker", [simple_handshake_bm, concur_mixer_bm,
+                                       selector_bm])
+    def test_examples_synthesize_and_simulate(self, maker):
+        machine = maker()
+        netlist = synthesize_burst_mode(machine)
+        assert simulate_fundamental_mode(machine, netlist) == []
+
+    def test_selector_equations(self):
+        netlist = synthesize_burst_mode(selector_bm())
+        assert equivalent(netlist.gates["g1"].expr, parse_expr("~m & r"))
+        assert equivalent(netlist.gates["g2"].expr, parse_expr("m & r"))
+
+    def test_non_output_coded_machine_rejected(self):
+        m = BurstModeMachine("noncoded", ["a"], ["y"], "s0")
+        m.add_transition("s0", ["a+"], [], "s1")
+        m.add_transition("s1", ["a-"], [], "s2")  # s2 code == s0 code
+        m.add_transition("s2", ["a+"], ["y+"], "s3")
+        m.add_transition("s3", ["a-"], ["y-"], "s0")
+        with pytest.raises(SynthesisError):
+            synthesize_burst_mode(m)
+
+    def test_fundamental_mode_weaker_than_si(self):
+        """Section 3.3's caveat, demonstrated: the burst-mode C-element
+        implementation is correct in fundamental mode but is NOT a
+        speed-independent implementation of the same behaviour."""
+        machine = concur_mixer_bm()
+        netlist = synthesize_burst_mode(machine)
+        assert simulate_fundamental_mode(machine, netlist) == []
+        # as an SI circuit against the STG with the same protocol, the
+        # cover fails (y may rise after b+ alone)
+        from repro.stg import parse_g
+
+        stg = parse_g("""
+.model celem
+.inputs a b
+.outputs y
+.graph
+a+ y+
+b+ y+
+y+ a- b-
+a- y-
+b- y-
+y- a+ b+
+.marking { <y-,a+> <y-,b+> }
+.end
+""")
+        si_netlist = Netlist("bm_as_si", inputs=["a", "b"])
+        si_netlist.add(Gate("y", netlist.gates["y"].kind,
+                            expr=netlist.gates["y"].expr))
+        report = verify_circuit(si_netlist, stg)
+        assert not report.ok  # early firing is a conformance failure
+
+    def test_simulator_catches_wrong_netlist(self):
+        machine = simple_handshake_bm()
+        wrong = Netlist("wrong", inputs=["req"])
+        wrong.add(Gate.comb("ack", "~req"))
+        problems = simulate_fundamental_mode(machine, wrong)
+        assert problems

@@ -1,0 +1,128 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.stg import save_g, vme_read
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.g"
+    save_g(vme_read(), str(path))
+    return str(path)
+
+
+class TestAnalyze:
+    def test_analyze_file(self, spec_file, capsys):
+        code = main(["analyze", spec_file])
+        out = capsys.readouterr().out
+        assert "CSC" in out
+        assert code == 1  # not implementable as-is
+
+    def test_analyze_bundled_example(self, capsys):
+        code = main(["analyze", "latch_controller"])
+        assert code == 0
+        assert "implementable as SI circuit: True" in capsys.readouterr().out
+
+    def test_verbose_lists_conflicts(self, spec_file, capsys):
+        main(["analyze", spec_file, "-v"])
+        assert "CSC conflict" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/x.g"]) == 2
+
+
+class TestViews:
+    def test_states(self, spec_file, capsys):
+        assert main(["states", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "# 14 states" in out
+
+    def test_waveform(self, spec_file, capsys):
+        assert main(["waveform", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "/" in out and "\\" in out
+
+    def test_dot(self, spec_file, capsys):
+        assert main(["dot", spec_file]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_reduce(self, capsys):
+        assert main(["reduce", "vme_read_write"]) == 0
+        out = capsys.readouterr().out
+        assert "invariant:" in out and "SM component" in out
+
+    def test_examples_listing(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "vme_read" in out and "mutex_controller" in out
+
+
+class TestFlow:
+    def test_resolve_to_file(self, spec_file, tmp_path, capsys):
+        out_path = str(tmp_path / "resolved.g")
+        assert main(["resolve", spec_file, "-o", out_path]) == 0
+        text = open(out_path).read()
+        assert ".internal csc0" in text
+
+    def test_resolve_to_stdout(self, spec_file, capsys):
+        assert main(["resolve", spec_file]) == 0
+        assert "csc0" in capsys.readouterr().out
+
+    def test_synthesize_and_verify(self, spec_file, capsys):
+        assert main(["synthesize", spec_file, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "DTACK = D" in out
+        assert "speed-independent implementation: True" in out
+
+    @pytest.mark.parametrize("arch", ["cg", "gc", "sr"])
+    def test_architectures(self, spec_file, arch, capsys):
+        assert main(["synthesize", spec_file, "--arch", arch,
+                     "--verify"]) == 0
+
+    def test_synthesize_decomposed(self, spec_file, capsys):
+        assert main(["synthesize", spec_file, "--decompose",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "map0" in out
+
+    def test_verilog_output(self, spec_file, capsys):
+        assert main(["synthesize", spec_file, "--verilog"]) == 0
+        assert "module" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_testbench(self, spec_file, capsys):
+        assert main(["testbench", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "module vme_read_tb;" in out
+        assert "expect_edge" in out
+
+    def test_coverability_bounded(self, spec_file, capsys):
+        assert main(["coverability", spec_file]) == 0
+        assert "bounded: True" in capsys.readouterr().out
+
+    def test_simulate(self, spec_file, tmp_path, capsys):
+        delays = {t: [1, 2] for t in vme_read().net.transitions}
+        delay_file = tmp_path / "delays.json"
+        delay_file.write_text(json.dumps(delays))
+        assert main(["simulate", spec_file, "--delays", str(delay_file),
+                     "--cycles", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated cycle time" in out
+
+
+class TestSeparation:
+    def test_separation_command(self, spec_file, tmp_path, capsys):
+        delays = {t: [1, 2] for t in vme_read().net.transitions}
+        delays["DSr+"] = [18, 25]
+        delay_file = tmp_path / "delays.json"
+        delay_file.write_text(json.dumps(delays))
+        code = main(["separation", spec_file, "LDTACK-", "DSr+",
+                     "--delays", str(delay_file), "--offset", "-1"])
+        out = capsys.readouterr().out
+        assert "max sep(LDTACK-, DSr+)" in out
+        assert code == 0  # negative separation with the slow bus

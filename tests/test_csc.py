@@ -1,0 +1,78 @@
+"""CSC resolution: signal insertion and concurrency reduction
+(paper Sections 2.1, 3.1)."""
+
+import pytest
+
+from repro.errors import CSCError
+from repro.analysis import check_implementability
+from repro.petri import is_live, reachable_markings
+from repro.stg import concurrent_latch_controller, vme_read, vme_read_csc
+from repro.synth import (
+    enumerate_insertions,
+    resolve_by_concurrency_reduction,
+    resolve_csc,
+)
+
+
+class TestInsertion:
+    def test_paper_insertion_is_among_candidates(self):
+        """The paper inserts csc0+ before LDS+ and csc0- before D-."""
+        candidates = enumerate_insertions(vme_read())
+        pairs = {(c.rise_before, c.fall_before) for c in candidates}
+        assert ("LDS+", "D-") in pairs
+
+    def test_candidates_all_noninput_targets(self):
+        for c in enumerate_insertions(vme_read()):
+            # inputs must not be delayed (compositional reasons, §2.1)
+            for target in c.rise_before.split(",") + c.fall_before.split(","):
+                assert not c.stg.is_input_event(target)
+
+    def test_resolve_vme_read(self):
+        resolved = resolve_csc(vme_read())
+        report = check_implementability(resolved)
+        assert report.implementable
+        assert resolved.internal == ["csc0"]
+        assert len(reachable_markings(resolved.net)) == 16
+
+    def test_resolution_is_idempotent_on_clean_spec(self):
+        stg = vme_read_csc()
+        resolved = resolve_csc(stg)
+        assert resolved is stg  # nothing inserted
+
+    def test_resolve_concurrent_latch_controller(self):
+        resolved = resolve_csc(concurrent_latch_controller())
+        assert check_implementability(resolved).implementable
+        assert resolved.internal  # at least one csc signal
+
+    def test_budget_exhaustion_raises(self):
+        with pytest.raises(CSCError):
+            resolve_csc(vme_read(), max_signals=0)
+
+
+class TestConcurrencyReduction:
+    def test_vme_read_resolvable_by_reduction(self):
+        """The paper's alternative: delay an event to remove the
+        conflicting state (e.g. delay DTACK- until LDS- fires)."""
+        reduced, (first, second) = \
+            resolve_by_concurrency_reduction(vme_read())
+        report = check_implementability(reduced)
+        assert report.implementable
+        assert not reduced.internal  # no new signal inserted
+        assert len(reachable_markings(reduced.net)) < 14
+        assert is_live(reduced.net)
+        # the delayed event must be non-input
+        assert not reduced.is_input_event(second)
+
+    def test_clean_spec_returns_unchanged(self):
+        stg = vme_read_csc()
+        same, pair = resolve_by_concurrency_reduction(stg)
+        assert same is stg and pair == ("", "")
+
+    def test_reduced_spec_synthesizes(self):
+        from repro.synth import synthesize_complex_gates
+        from repro.verify import verify_circuit
+
+        reduced, _ = resolve_by_concurrency_reduction(vme_read())
+        netlist = synthesize_complex_gates(reduced)
+        # verify against the reduced spec (the contract the env now obeys)
+        assert verify_circuit(netlist, reduced).ok

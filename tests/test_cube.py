@@ -1,0 +1,84 @@
+"""Cube algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.boolmin import (
+    cube_contains,
+    cube_covers,
+    cube_from_str,
+    cube_intersection,
+    cube_minterms,
+    cube_size,
+    cube_to_str,
+    cubes_intersect,
+    int_to_minterm,
+    literal_count,
+    minterm_to_int,
+)
+
+cubes3 = st.tuples(*([st.sampled_from([0, 1, None])] * 3))
+minterms3 = st.tuples(*([st.sampled_from([0, 1])] * 3))
+
+
+class TestBasics:
+    def test_str_roundtrip(self):
+        assert cube_from_str("10-") == (1, 0, None)
+        assert cube_to_str((1, 0, None)) == "10-"
+
+    def test_contains(self):
+        c = cube_from_str("1-0")
+        assert cube_contains(c, (1, 0, 0))
+        assert cube_contains(c, (1, 1, 0))
+        assert not cube_contains(c, (0, 1, 0))
+
+    def test_covers(self):
+        assert cube_covers(cube_from_str("1--"), cube_from_str("10-"))
+        assert not cube_covers(cube_from_str("10-"), cube_from_str("1--"))
+
+    def test_intersection(self):
+        a, b = cube_from_str("1--"), cube_from_str("-0-")
+        assert cube_intersection(a, b) == (1, 0, None)
+        assert cube_intersection(cube_from_str("1--"),
+                                 cube_from_str("0--")) is None
+
+    def test_size_and_literals(self):
+        c = cube_from_str("1--")
+        assert cube_size(c) == 4
+        assert literal_count(c) == 1
+
+    def test_minterm_int_conversion(self):
+        assert minterm_to_int((1, 0, 1)) == 5
+        assert int_to_minterm(5, 3) == (1, 0, 1)
+
+
+@given(cubes3, minterms3)
+def test_contains_consistent_with_minterm_enumeration(cube, minterm):
+    enumerated = set(cube_minterms(cube))
+    assert cube_contains(cube, minterm) == (minterm in enumerated)
+
+
+@given(cubes3)
+def test_size_matches_enumeration(cube):
+    assert cube_size(cube) == len(list(cube_minterms(cube)))
+
+
+@given(cubes3, cubes3)
+def test_intersection_semantics(a, b):
+    inter = cube_intersection(a, b)
+    points = set(cube_minterms(a)) & set(cube_minterms(b))
+    if inter is None:
+        assert not points
+        assert not cubes_intersect(a, b)
+    else:
+        assert set(cube_minterms(inter)) == points
+        assert cubes_intersect(a, b)
+
+
+@given(cubes3, cubes3)
+def test_covers_semantics(a, b):
+    assert cube_covers(a, b) == (set(cube_minterms(b)) <= set(cube_minterms(a)))
+
+
+@given(st.integers(0, 7))
+def test_int_minterm_roundtrip(value):
+    assert minterm_to_int(int_to_minterm(value, 3)) == value

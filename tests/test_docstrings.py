@@ -1,0 +1,52 @@
+"""API hygiene: every public module, class, function and method is
+documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def walk_public_objects():
+    for modinfo in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if modinfo.name.endswith("__main__"):
+            continue
+        mod = importlib.import_module(modinfo.name)
+        yield modinfo.name, "module", mod
+        for name, obj in vars(mod).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != modinfo.name:
+                continue
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                yield "%s.%s" % (modinfo.name, name), "object", obj
+                if inspect.isclass(obj):
+                    for mname, meth in vars(obj).items():
+                        if mname.startswith("_"):
+                            continue
+                        if inspect.isfunction(meth):
+                            yield ("%s.%s.%s" % (modinfo.name, name, mname),
+                                   "method", meth)
+
+
+def test_every_public_item_documented():
+    missing = []
+    for qualname, kind, obj in walk_public_objects():
+        doc = obj.__doc__ if kind == "module" else inspect.getdoc(obj)
+        if not doc or not doc.strip():
+            missing.append(qualname)
+    assert not missing, "undocumented public items: %s" % missing
+
+
+def test_every_package_reexports_all():
+    import os
+
+    for modinfo in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if modinfo.name.endswith("__main__"):
+            continue
+        mod = importlib.import_module(modinfo.name)
+        if hasattr(mod, "__path__"):  # a package
+            assert hasattr(mod, "__all__"), modinfo.name
+            for name in mod.__all__:
+                assert hasattr(mod, name), (modinfo.name, name)

@@ -1,0 +1,92 @@
+"""Heuristic (ESPRESSO-style) minimization vs the exact engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolmin import cube_to_str, espresso, minimize, verify_cover
+from repro.boolmin.espresso import expand_cube, irredundant, reduce_cover
+
+
+class TestPhases:
+    def test_expand_raises_literals(self):
+        # f = a (over 2 vars): expanding minterm 11 against OFF {00, 01}
+        expanded = expand_cube((1, 1), {0b00, 0b01}, 2)
+        assert expanded == (1, None)
+
+    def test_expand_blocked_by_offset(self):
+        assert expand_cube((1, 1), {0b10, 0b01, 0b00}, 2) == (1, 1)
+
+    def test_irredundant_drops_subsumed(self):
+        cover = [(1, None), (1, 1)]
+        onset = {0b10, 0b11}
+        assert irredundant(cover, onset, 2) == [(1, None)]
+
+    def test_reduce_is_sequential(self):
+        """Two overlapping cubes must not both shrink away from their
+        shared minterm."""
+        cover = [(None, 1), (1, None)]
+        onset = {0b01, 0b11, 0b10}
+        reduced = reduce_cover(cover, onset, 2)
+        covered = set()
+        from repro.boolmin import cube_minterms, minterm_to_int
+
+        for c in reduced:
+            covered |= {minterm_to_int(m) for m in cube_minterms(c)}
+        assert onset <= covered
+
+
+class TestKnownFunctions:
+    def test_or_function(self):
+        cover = espresso([0b01, 0b10, 0b11], [], 2)
+        assert sorted(cube_to_str(c) for c in cover) == ["-1", "1-"]
+
+    def test_empty_onset(self):
+        assert espresso([], [], 3) == []
+
+    def test_tautology(self):
+        cover = espresso(list(range(8)), [], 3)
+        assert cover == [(None, None, None)]
+
+    def test_uses_dont_cares(self):
+        cover = espresso([3], [2], 2)
+        assert cover == [(1, None)]
+
+
+@st.composite
+def random_function(draw):
+    n = draw(st.integers(3, 6))
+    universe = list(range(1 << n))
+    onset = draw(st.sets(st.sampled_from(universe), min_size=1, max_size=14))
+    dc = draw(st.sets(st.sampled_from(universe), max_size=5)) - onset
+    return sorted(onset), sorted(dc), n
+
+
+@given(random_function())
+@settings(max_examples=150, deadline=None)
+def test_espresso_covers_are_correct(data):
+    onset, dc, n = data
+    cover = espresso(onset, dc, n)
+    offset = [m for m in range(1 << n)
+              if m not in set(onset) and m not in set(dc)]
+    assert verify_cover(cover, onset, offset, n)
+
+
+@given(random_function())
+@settings(max_examples=80, deadline=None)
+def test_espresso_never_beats_exact(data):
+    """The exact engine is a lower bound on cube count."""
+    onset, dc, n = data
+    heuristic = espresso(onset, dc, n)
+    exact = minimize(onset, dc, n)
+    assert len(heuristic) >= len(exact)
+
+
+@given(random_function())
+@settings(max_examples=60, deadline=None)
+def test_espresso_usually_matches_exact(data):
+    """On small functions the heuristic is within one cube of optimal
+    (a loose sanity bound, not a theorem)."""
+    onset, dc, n = data
+    heuristic = espresso(onset, dc, n)
+    exact = minimize(onset, dc, n)
+    assert len(heuristic) <= len(exact) + 3

@@ -1,0 +1,134 @@
+"""Boolean expression AST, parser and printers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError
+from repro.boolmin import (
+    FALSE,
+    TRUE,
+    And,
+    Not,
+    Or,
+    Var,
+    all_assignments,
+    equivalent,
+    expr_to_cubes,
+    from_cubes,
+    parse_expr,
+)
+
+
+class TestParser:
+    def test_python_style(self):
+        e = parse_expr("a & b | ~c")
+        assert e.eval({"a": 1, "b": 1, "c": 1}) == 1
+        assert e.eval({"a": 0, "b": 1, "c": 1}) == 0
+        assert e.eval({"a": 0, "b": 0, "c": 0}) == 1
+
+    def test_eqn_style_implicit_and(self):
+        e = parse_expr("DSr (csc0 + LDTACK')")
+        assert e.support() == frozenset({"DSr", "csc0", "LDTACK"})
+        assert e.eval({"DSr": 1, "csc0": 0, "LDTACK": 0}) == 1
+        assert e.eval({"DSr": 1, "csc0": 0, "LDTACK": 1}) == 0
+
+    def test_postfix_not(self):
+        assert parse_expr("a'").eval({"a": 0}) == 1
+
+    def test_constants(self):
+        assert parse_expr("1").eval({}) == 1
+        assert parse_expr("a & 0").eval({"a": 1}) == 0
+
+    def test_precedence_and_binds_tighter(self):
+        e = parse_expr("a + b c")
+        assert e.eval({"a": 0, "b": 1, "c": 0}) == 0
+        assert e.eval({"a": 0, "b": 1, "c": 1}) == 1
+
+    def test_parse_errors(self):
+        for bad in ("", "a &", "(a", "a b)", "a @ b"):
+            with pytest.raises(ParseError):
+                parse_expr(bad)
+
+    def test_roundtrip_both_styles(self):
+        e = parse_expr("a & (b | ~c)")
+        again_py = parse_expr(e.to_str("python"))
+        again_eqn = parse_expr(e.to_str("eqn"))
+        assert equivalent(e, again_py)
+        assert equivalent(e, again_eqn)
+
+
+class TestAlgebra:
+    def test_smart_constructors_simplify(self):
+        a = Var("a")
+        assert And.of(a, TRUE) == a
+        assert And.of(a, FALSE) == FALSE
+        assert Or.of(a, FALSE) == a
+        assert Or.of(a, TRUE) == TRUE
+        assert And.of() == TRUE
+        assert Or.of() == FALSE
+
+    def test_operators(self):
+        a, b = Var("a"), Var("b")
+        e = (a & b) | ~a
+        assert e.eval({"a": 0, "b": 0}) == 1
+        assert e.eval({"a": 1, "b": 0}) == 0
+
+    def test_equality_and_hash(self):
+        assert parse_expr("a & b") == parse_expr("a & b")
+        assert parse_expr("a & b") != parse_expr("b & a")  # syntactic
+        assert hash(parse_expr("a")) == hash(Var("a"))
+
+
+class TestSemantics:
+    def test_equivalent_full(self):
+        assert equivalent(parse_expr("a & b | a & ~b"), parse_expr("a"))
+        assert not equivalent(parse_expr("a | b"), parse_expr("a"))
+
+    def test_equivalent_on_care_set(self):
+        # a|b == a when b=1 never occurs with a=0 in the care set
+        care = [{"a": 0, "b": 0}, {"a": 1, "b": 0}, {"a": 1, "b": 1}]
+        assert equivalent(parse_expr("a | b"), parse_expr("a"), care=care)
+
+    def test_from_cubes(self):
+        e = from_cubes([(1, None), (None, 0)], ["x", "y"])
+        assert equivalent(e, parse_expr("x | ~y"))
+
+    def test_from_cubes_empty_is_false(self):
+        assert from_cubes([], ["x"]) == FALSE
+
+    def test_expr_to_cubes_roundtrip(self):
+        e = parse_expr("a & ~b | c")
+        cubes = expr_to_cubes(e, ["a", "b", "c"])
+        back = from_cubes(cubes, ["a", "b", "c"])
+        assert equivalent(e, back)
+
+
+_names = ["a", "b", "c"]
+
+
+@st.composite
+def random_expr(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return Var(draw(st.sampled_from(_names)))
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return Not(draw(random_expr(depth=depth - 1)))
+    left = draw(random_expr(depth=depth - 1))
+    right = draw(random_expr(depth=depth - 1))
+    return And.of(left, right) if kind == "and" else Or.of(left, right)
+
+
+@given(random_expr())
+@settings(max_examples=80, deadline=None)
+def test_printer_parser_roundtrip(expr):
+    for style in ("python", "eqn"):
+        again = parse_expr(expr.to_str(style))
+        assert equivalent(expr, again)
+
+
+@given(random_expr())
+@settings(max_examples=50, deadline=None)
+def test_sop_extraction_preserves_semantics(expr):
+    cubes = expr_to_cubes(expr, _names)
+    back = from_cubes(cubes, _names)
+    assert equivalent(expr, back)

@@ -1,0 +1,112 @@
+"""Extensions: STG mirroring, timing slack, HDL testbench generation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.stg import SignalType, vme_read, vme_read_csc
+from repro.synth import (
+    generate_testbench,
+    stimulus_plan,
+    synthesize_complex_gates,
+)
+from repro.timing import TimedMarkedGraph, bottleneck_report, delay_slack
+
+VME_DELAYS = {
+    "DSr+": (18, 25), "DSr-": (4, 6), "DTACK+": (1, 2), "DTACK-": (1, 2),
+    "LDS+": (1, 2), "LDS-": (1, 2), "LDTACK+": (3, 5), "LDTACK-": (3, 5),
+    "D+": (1, 2), "D-": (1, 2),
+}
+
+
+class TestMirror:
+    def test_roles_swapped(self):
+        spec = vme_read()
+        mirror = spec.mirror()
+        assert mirror.inputs == sorted(spec.outputs)
+        assert mirror.outputs == sorted(spec.inputs)
+
+    def test_structure_preserved(self):
+        spec = vme_read()
+        mirror = spec.mirror()
+        assert mirror.net.stats() == spec.net.stats()
+
+    def test_internal_signals_unchanged(self):
+        spec = vme_read_csc()
+        mirror = spec.mirror()
+        assert mirror.internal == spec.internal
+
+    def test_double_mirror_is_identity_on_types(self):
+        spec = vme_read()
+        double = spec.mirror().mirror()
+        assert {s: k for s, k in double.signal_types.items()} == \
+            {s: k for s, k in spec.signal_types.items()}
+
+    def test_mirror_is_the_environment(self):
+        """Composing the mirror's 'circuit' against the original spec
+        closes the system consistently: the mirror drives DSr/LDTACK."""
+        mirror = vme_read().mirror()
+        assert mirror.type_of("DSr") == SignalType.OUTPUT
+        assert mirror.type_of("LDS") == SignalType.INPUT
+
+
+class TestSlack:
+    def test_critical_transitions_have_zero_slack(self):
+        tmg = TimedMarkedGraph(vme_read().net, VME_DELAYS)
+        report = bottleneck_report(tmg)
+        for t in ("DSr+", "LDS+", "LDTACK+", "D+", "DTACK+", "DSr-", "D-",
+                  "DTACK-"):
+            assert report[t] == pytest.approx(0.0, abs=1e-3), t
+
+    def test_reset_branch_slack(self):
+        """LDS-/LDTACK- sit on the shorter reset branch: the branch can
+        absorb exactly the cycle-time difference (20 time units)."""
+        tmg = TimedMarkedGraph(vme_read().net, VME_DELAYS)
+        assert delay_slack(tmg, "LDS-") == pytest.approx(20.0, abs=1e-3)
+        assert delay_slack(tmg, "LDTACK-") == pytest.approx(20.0, abs=1e-3)
+
+    def test_slack_is_tight(self):
+        """Growing a delay by its slack keeps the cycle time; growing
+        beyond increases it."""
+        from repro.timing import cycle_time
+
+        tmg = TimedMarkedGraph(vme_read().net, VME_DELAYS)
+        base = cycle_time(tmg)
+        slack = delay_slack(tmg, "LDS-")
+        grown = dict(VME_DELAYS)
+        lo, hi = grown["LDS-"]
+        grown["LDS-"] = (lo, hi + slack + 1.0)
+        assert cycle_time(TimedMarkedGraph(vme_read().net, grown)) > base
+
+
+class TestTestbench:
+    def test_plan_covers_every_event_once(self):
+        plan = stimulus_plan(vme_read())
+        assert len(plan) == 10
+        drives = [(s, v) for kind, s, v in plan if kind == "drive"]
+        expects = [(s, v) for kind, s, v in plan if kind == "expect"]
+        assert ("DSr", 1) in drives and ("LDTACK", 0) in drives
+        assert ("LDS", 1) in expects and ("D", 0) in expects
+
+    def test_plan_respects_spec_order(self):
+        plan = stimulus_plan(vme_read())
+        order = [(s, v) for _, s, v in plan]
+        assert order.index(("DSr", 1)) < order.index(("LDS", 1))
+        assert order.index(("LDTACK", 1)) < order.index(("D", 1))
+
+    def test_testbench_structure(self):
+        netlist = synthesize_complex_gates(vme_read_csc())
+        tb = generate_testbench(vme_read(), netlist, cycles=3)
+        assert "module vme_read_tb;" in tb
+        assert "vme_read_cg dut(" in tb
+        assert "repeat (3) begin" in tb
+        assert tb.count("expect_edge(1'b") == 6  # three output signals x2
+        assert '$display("PASS")' in tb
+        assert tb.strip().endswith("endmodule")
+
+    def test_missing_driver_rejected(self):
+        from repro.synth import Gate, Netlist
+
+        partial = Netlist("partial", inputs=["DSr", "LDTACK"])
+        partial.add(Gate.comb("LDS", "DSr"))
+        with pytest.raises(ModelError):
+            generate_testbench(vme_read(), partial)

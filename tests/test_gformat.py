@@ -1,0 +1,110 @@
+"""The .g (astg) parser and writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.petri import reachable_markings
+from repro.stg import parse_g, write_g, vme_read, vme_read_write
+from repro.ts import build_reachability_graph
+
+
+class TestParsing:
+    def test_minimal_handshake(self):
+        stg = parse_g("""
+.model hs
+.inputs r
+.outputs a
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end
+""")
+        assert stg.name == "hs"
+        assert stg.inputs == ["r"] and stg.outputs == ["a"]
+        assert len(stg.net.transitions) == 4
+        assert stg.initial_marking.get("<a-,r+>") == 1
+
+    def test_comments_and_blank_lines_ignored(self):
+        stg = parse_g("""
+# a comment
+.model c
+.inputs r
+.outputs a
+
+.graph
+r+ a+  # trailing comment
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end
+""")
+        assert len(stg.net.transitions) == 4
+
+    def test_explicit_places(self):
+        stg = vme_read()
+        assert "p0" in stg.net.places
+        assert stg.initial_marking.get("p0") == 1
+
+    def test_instances_parsed(self):
+        stg = vme_read_write()
+        assert "LDS+/1" in stg.net.transitions
+        assert "LDS+/2" in stg.net.transitions
+
+    def test_undeclared_signal_defaults_internal(self):
+        stg = parse_g("""
+.model x
+.inputs r
+.graph
+r+ z+
+z+ r-
+r- z-
+z- r+
+.marking { <z-,r+> }
+.end
+""")
+        assert stg.type_of("z").value == "internal"
+
+    def test_bad_marking_place(self):
+        with pytest.raises(ParseError):
+            parse_g("""
+.model bad
+.inputs r
+.outputs a
+.graph
+r+ a+
+.marking { nowhere }
+.end
+""")
+
+    def test_malformed_marking_line(self):
+        with pytest.raises(ParseError):
+            parse_g(".model m\n.graph\n.marking no-braces\n.end\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("maker", [vme_read, vme_read_write])
+    def test_write_parse_preserves_behaviour(self, maker):
+        original = maker()
+        text = write_g(original)
+        parsed = parse_g(text)
+        assert parsed.inputs == original.inputs
+        assert parsed.outputs == original.outputs
+        ts1 = build_reachability_graph(original)
+        ts2 = build_reachability_graph(parsed)
+        assert len(ts1) == len(ts2)
+        assert ts1.bisimilar(ts2)
+
+    def test_written_text_contains_sections(self):
+        text = write_g(vme_read())
+        for token in (".model", ".inputs", ".outputs", ".graph",
+                      ".marking", ".end"):
+            assert token in text
+
+    def test_double_roundtrip_fixpoint(self):
+        text1 = write_g(vme_read())
+        text2 = write_g(parse_g(text1))
+        assert text1 == text2

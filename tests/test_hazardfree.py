@@ -1,0 +1,159 @@
+"""Exact hazard-free two-level minimization (Nowick–Dill, paper §3.3)."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import SynthesisError
+from repro.boolmin import (
+    InputTransition,
+    check_cover_hazard_free,
+    cube_contains,
+    cube_covers,
+    cube_from_str,
+    dhf_prime_implicants,
+    int_to_minterm,
+    is_dhf_implicant,
+    minimize_hazard_free,
+)
+
+
+def t(start, end, fs, fe):
+    return InputTransition(tuple(start), tuple(end), fs, fe)
+
+
+class TestTransitionModel:
+    def test_transition_cube(self):
+        tr = t((0, 0, 1), (1, 0, 1), 1, 1)
+        assert tr.cube == (None, 0, 1)
+        assert tr.kind == "1->1"
+
+    def test_inconsistent_spec_rejected(self):
+        from repro.boolmin.hazardfree import onset_offset
+
+        transitions = [
+            t((0, 0), (0, 0), 1, 1),
+            t((0, 0), (0, 0), 0, 0),
+        ]
+        with pytest.raises(SynthesisError):
+            onset_offset(transitions, 2)
+
+
+class TestDHFImplicants:
+    def test_static_one_requires_single_cube(self):
+        """f = 1 on both halves of a 1->1 transition: the union of two
+        products covering it is hazardous; the minimizer must pick the
+        single covering cube."""
+        transitions = [
+            t((0, 0), (1, 1), 1, 1),  # multi-input 1->1 change
+        ]
+        cover = minimize_hazard_free(transitions, 2)
+        assert any(cube_covers(c, (None, None)) for c in cover)
+
+    def test_dynamic_intersection_condition(self):
+        tr10 = t((1, 1), (0, 0), 1, 0)
+        # a cube containing the start is fine
+        assert is_dhf_implicant(cube_from_str("1-"), [tr10]) is False or True
+        # cube {x1=1} intersects the transition cube (--) and contains the
+        # start (1,1)? (1,1) has x0=1 -> "1-" contains it
+        assert is_dhf_implicant(cube_from_str("1-"), [tr10])
+        # cube {x1=0 side}: "0-" intersects but misses the start
+        assert not is_dhf_implicant(cube_from_str("0-"), [tr10])
+
+    def test_dhf_primes_respect_constraints(self):
+        transitions = [
+            t((1, 1, 0), (0, 0, 0), 1, 0),   # 1->0 dynamic
+            t((1, 1, 0), (1, 1, 1), 1, 1),   # static 1 elsewhere
+        ]
+        primes = dhf_prime_implicants(transitions, 3)
+        for p in primes:
+            assert is_dhf_implicant(p, transitions)
+
+
+class TestMinimization:
+    def test_single_static_transition(self):
+        transitions = [t((1, 0), (1, 1), 1, 1)]
+        cover = minimize_hazard_free(transitions, 2)
+        assert len(cover) == 1
+        assert cube_covers(cover[0], (1, None))
+
+    def test_cover_respects_off_points(self):
+        transitions = [
+            t((1, 1), (1, 1), 1, 1),   # stable ON point
+            t((0, 0), (0, 0), 0, 0),   # stable OFF point
+            t((1, 1), (0, 1), 1, 0),   # falls when x0 drops
+        ]
+        cover = minimize_hazard_free(transitions, 2)
+        assert not check_cover_hazard_free(cover, transitions)
+        assert not any(cube_contains(c, (0, 0)) for c in cover)
+
+    def test_no_cover_exists(self):
+        """A 1->1 transition whose cube contains an OFF point cannot be
+        hazard-freely covered."""
+        transitions = [
+            t((0, 0), (1, 1), 1, 1),     # requires the full square
+            t((0, 1), (0, 1), 0, 0),     # but (0,1) must be OFF
+        ]
+        with pytest.raises(SynthesisError):
+            minimize_hazard_free(transitions, 2)
+
+    def test_empty_onset(self):
+        transitions = [t((0, 0), (1, 1), 0, 0)]
+        assert minimize_hazard_free(transitions, 2) == []
+
+    def test_checker_flags_handover(self):
+        """Covering a 1->1 transition with two half-cubes is a static-1
+        hazard the checker must flag."""
+        transitions = [t((0, 0), (1, 1), 1, 1)]
+        bad_cover = [cube_from_str("0-"), cube_from_str("1-")]
+        problems = check_cover_hazard_free(bad_cover, transitions)
+        assert problems and "static-1" in problems[0]
+
+
+@st.composite
+def random_spec(draw, n=3):
+    """Random consistent transition specifications over n=3 variables."""
+    transitions = []
+    n_transitions = draw(st.integers(1, 4))
+    for _ in range(n_transitions):
+        start = tuple(draw(st.sampled_from([0, 1])) for _ in range(n))
+        # monotonic change: flip a random subset
+        flips = draw(st.sets(st.integers(0, n - 1), max_size=n))
+        end = tuple((1 - v) if i in flips else v
+                    for i, v in enumerate(start))
+        fs = draw(st.sampled_from([0, 1]))
+        fe = draw(st.sampled_from([0, 1])) if flips else fs
+        transitions.append(t(start, end, fs, fe))
+    return transitions
+
+
+@given(random_spec())
+@settings(max_examples=120, deadline=None)
+def test_minimized_cover_is_hazard_free(transitions):
+    from repro.boolmin.hazardfree import onset_offset
+
+    try:
+        onset_offset(transitions, 3)
+    except SynthesisError:
+        assume(False)
+    try:
+        cover = minimize_hazard_free(transitions, 3)
+    except SynthesisError:
+        return  # legitimately uncoverable
+    assert not check_cover_hazard_free(cover, transitions)
+
+
+@given(random_spec())
+@settings(max_examples=80, deadline=None)
+def test_cover_matches_function_values(transitions):
+    from repro.boolmin.hazardfree import onset_offset
+
+    try:
+        onset, offset = onset_offset(transitions, 3)
+        cover = minimize_hazard_free(transitions, 3)
+    except SynthesisError:
+        assume(False)
+        return
+    for m in onset:
+        assert any(cube_contains(c, int_to_minterm(m, 3)) for c in cover)
+    for m in offset:
+        assert not any(cube_contains(c, int_to_minterm(m, 3)) for c in cover)

@@ -1,0 +1,95 @@
+"""Latch-based synthesis: gC / RS architectures and monotonous covers
+(paper Sections 3.2-3.4, Figure 8)."""
+
+import pytest
+
+from repro.boolmin import cube_contains, minterm_to_int
+from repro.stg import RISE, FALL, latch_controller, vme_read_csc
+from repro.synth import (
+    check_monotonous_cover,
+    excitation_covers,
+    monotonicity_report,
+    synthesize_gc,
+    synthesize_sr,
+)
+from repro.synth.netlist import GateKind
+from repro.ts import build_state_graph
+from repro.verify import verify_circuit
+from repro.stg import vme_read
+
+
+@pytest.fixture
+def csc_sg():
+    return build_state_graph(vme_read_csc())
+
+
+class TestCovers:
+    def test_set_cover_covers_er_plus(self, csc_sg):
+        for signal in csc_sg.stg.noninput_signals:
+            set_cubes, reset_cubes = excitation_covers(csc_sg, signal)
+            for state in csc_sg.excitation_region(signal, RISE):
+                code = csc_sg.code(state)
+                assert any(cube_contains(c, code) for c in set_cubes)
+            for state in csc_sg.excitation_region(signal, FALL):
+                code = csc_sg.code(state)
+                assert any(cube_contains(c, code) for c in reset_cubes)
+
+    def test_set_cover_avoids_off_states(self, csc_sg):
+        for signal in csc_sg.stg.noninput_signals:
+            set_cubes, reset_cubes = excitation_covers(csc_sg, signal)
+            off = (csc_sg.excitation_region(signal, FALL)
+                   | csc_sg.quiescent_region(signal, FALL))
+            for state in off:
+                code = csc_sg.code(state)
+                assert not any(cube_contains(c, code) for c in set_cubes)
+
+    def test_set_reset_mutually_exclusive_on_reachable(self, csc_sg):
+        for signal in csc_sg.stg.noninput_signals:
+            set_cubes, reset_cubes = excitation_covers(csc_sg, signal)
+            for state in csc_sg.states:
+                code = csc_sg.code(state)
+                s = any(cube_contains(c, code) for c in set_cubes)
+                r = any(cube_contains(c, code) for c in reset_cubes)
+                assert not (s and r)
+
+
+class TestMonotonicity:
+    def test_vme_covers_are_monotonous(self, csc_sg):
+        report = monotonicity_report(csc_sg)
+        assert all(not v for v in report.values()), report
+
+    def test_violation_detected_for_bad_cover(self, csc_sg):
+        """A cover equal to the whole ON set of csc0 minus ER glitches."""
+        bad_cover = [tuple([None] * 6)]  # constant 1 intersects OFF states
+        violations = check_monotonous_cover(csc_sg, "csc0", bad_cover, RISE)
+        assert violations
+
+
+class TestArchitectures:
+    def test_gc_netlist_shape(self, csc_sg):
+        netlist = synthesize_gc(csc_sg)
+        assert all(g.kind == GateKind.C_ELEMENT
+                   for g in netlist.gates.values())
+        assert set(netlist.gates) == {"D", "LDS", "DTACK", "csc0"}
+
+    def test_sr_netlist_shape(self, csc_sg):
+        netlist = synthesize_sr(csc_sg)
+        assert all(g.kind == GateKind.SR_LATCH
+                   for g in netlist.gates.values())
+
+    def test_gc_circuit_is_speed_independent(self):
+        netlist = synthesize_gc(vme_read_csc())
+        report = verify_circuit(netlist, vme_read())
+        assert report.ok, report.summary()
+
+    def test_sr_circuit_is_speed_independent(self):
+        for dominance in ("reset", "set"):
+            netlist = synthesize_sr(vme_read_csc(), dominance=dominance)
+            report = verify_circuit(netlist, vme_read())
+            assert report.ok, (dominance, report.summary())
+
+    def test_latch_controller_gc(self):
+        stg = latch_controller()
+        netlist = synthesize_gc(stg)
+        report = verify_circuit(netlist, stg)
+        assert report.ok, report.summary()

@@ -1,0 +1,92 @@
+"""Sanity of the bundled STG library (sizes, classes, implementability)."""
+
+import pytest
+
+from repro.analysis import check_implementability
+from repro.petri import is_free_choice, is_live, is_marked_graph, is_safe
+from repro.stg import (
+    ALL_EXAMPLES,
+    concurrent_latch_controller,
+    handshake_arbiter_free_choice,
+    latch_controller,
+    parallel_handshakes,
+    pipeline_ring,
+    sequencer,
+    vme_read,
+    vme_read_csc,
+    vme_read_write,
+)
+from repro.ts import build_state_graph
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXAMPLES))
+def test_examples_are_safe_and_live(name):
+    stg = ALL_EXAMPLES[name]()
+    assert is_safe(stg.net), name
+    assert is_live(stg.net), name
+
+
+class TestVME:
+    def test_read_cycle_shape(self):
+        stg = vme_read()
+        assert is_marked_graph(stg.net)
+        assert len(stg.net.places) == 11      # p0..p10 of Figure 3
+        assert len(stg.net.transitions) == 10
+        assert len(build_state_graph(stg)) == 14  # Figure 4
+
+    def test_read_write_shape(self):
+        stg = vme_read_write()
+        assert not is_marked_graph(stg.net)
+        assert is_free_choice(stg.net) is False  # p3 feeds both LDS+ copies
+        assert len(build_state_graph(stg)) == 24
+
+    def test_read_csc_is_implementable(self):
+        assert check_implementability(vme_read_csc()).implementable
+
+    def test_read_is_not_implementable(self):
+        report = check_implementability(vme_read())
+        assert not report.implementable
+        assert len(report.csc_conflicts) == 1
+
+
+class TestControllers:
+    def test_latch_controller_is_clean(self):
+        report = check_implementability(latch_controller())
+        assert report.implementable
+        assert report.states == 8
+
+    def test_concurrent_latch_has_csc_conflict(self):
+        report = check_implementability(concurrent_latch_controller())
+        assert report.consistent
+        assert not report.has_csc
+
+    def test_free_choice_controller(self):
+        stg = handshake_arbiter_free_choice()
+        assert is_free_choice(stg.net)
+        report = check_implementability(stg)
+        assert report.persistent  # input-input choice is allowed
+        assert report.implementable
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_parallel_handshakes_state_count(self, n):
+        sg = build_state_graph(parallel_handshakes(n))
+        assert len(sg) == 4 ** n
+
+    def test_pipeline_ring_sizes(self):
+        stg = pipeline_ring(6, tokens=2)
+        assert is_marked_graph(stg.net)
+        assert is_live(stg.net)
+
+    def test_pipeline_ring_token_validation(self):
+        with pytest.raises(ValueError):
+            pipeline_ring(4, tokens=0)
+        with pytest.raises(ValueError):
+            pipeline_ring(4, tokens=5)
+
+    def test_sequencer_cycle_length(self):
+        sg = build_state_graph(sequencer(4))
+        assert len(sg) == 8
+        report = check_implementability(sequencer(3))
+        assert report.consistent

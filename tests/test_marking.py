@@ -1,0 +1,83 @@
+"""Unit and property tests for markings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.petri import Marking
+
+place_names = st.text(alphabet="abcde", min_size=1, max_size=3)
+token_maps = st.dictionaries(place_names, st.integers(0, 3), max_size=5)
+
+
+class TestBasics:
+    def test_zero_counts_dropped(self):
+        assert Marking({"p": 0, "q": 1}) == Marking({"q": 1})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Marking({"p": -1})
+
+    def test_get_and_contains(self):
+        m = Marking({"p": 2})
+        assert m["p"] == 2 and m.get("q") == 0
+        assert "p" in m and "q" not in m
+
+    def test_from_places_accumulates(self):
+        assert Marking.from_places(["p", "p", "q"]) == Marking({"p": 2, "q": 1})
+
+    def test_places_sorted(self):
+        assert Marking({"b": 1, "a": 1}).places() == ("a", "b")
+
+    def test_total_and_len(self):
+        m = Marking({"p": 2, "q": 1})
+        assert m.total() == 3
+        assert len(m) == 2
+
+    def test_is_safe(self):
+        assert Marking({"p": 1, "q": 1}).is_safe()
+        assert not Marking({"p": 2}).is_safe()
+
+    def test_repr_compact(self):
+        assert repr(Marking({"p": 1})) == "{p}"
+        assert repr(Marking({"p": 2})) == "{p:2}"
+
+
+class TestAlgebra:
+    def test_add_positive_and_negative(self):
+        m = Marking({"p": 1}).add({"p": -1, "q": 2})
+        assert m == Marking({"q": 2})
+
+    def test_add_underflow_raises(self):
+        with pytest.raises(ValueError):
+            Marking({"p": 1}).add({"p": -2})
+
+    def test_covers(self):
+        big = Marking({"p": 2, "q": 1})
+        small = Marking({"p": 1})
+        assert big.covers(small)
+        assert not small.covers(big)
+        assert big.covers(big)
+
+
+@given(token_maps)
+def test_hash_consistency(tokens):
+    a = Marking(tokens)
+    b = Marking(dict(tokens))
+    assert a == b and hash(a) == hash(b)
+
+
+@given(token_maps, token_maps)
+def test_add_then_subtract_roundtrip(base, delta):
+    m = Marking(base)
+    plus = m.add(delta)
+    back = plus.add({p: -n for p, n in delta.items()})
+    assert back == m
+
+
+@given(token_maps)
+def test_covers_is_reflexive_and_total_monotone(tokens):
+    m = Marking(tokens)
+    assert m.covers(m)
+    bumped = m.add({"zz": 1})
+    assert bumped.covers(m)
+    assert bumped.total() == m.total() + 1

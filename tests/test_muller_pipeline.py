@@ -1,0 +1,63 @@
+"""The Muller pipeline: generator, synthesis, and the textbook result."""
+
+import pytest
+
+from repro.analysis import check_implementability
+from repro.boolmin import equivalent, parse_expr
+from repro.petri import is_live, is_marked_graph, is_safe
+from repro.stg import muller_pipeline
+from repro.synth import synthesize_gc
+from repro.synth.netlist import GateKind
+from repro.ts import build_state_graph
+from repro.verify import verify_circuit
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_structure(self, n):
+        stg = muller_pipeline(n)
+        assert is_marked_graph(stg.net)
+        assert is_safe(stg.net)
+        assert is_live(stg.net)
+        assert stg.inputs == ["c0"]
+        assert len(stg.outputs) == n
+
+    def test_state_count_doubles(self):
+        sizes = [len(build_state_graph(muller_pipeline(n)))
+                 for n in (1, 2, 3, 4)]
+        assert sizes == [4, 8, 16, 32]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            muller_pipeline(0)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_implementable_without_csc_signals(self, n):
+        assert check_implementability(muller_pipeline(n)).implementable
+
+
+class TestTextbookResult:
+    def test_middle_stages_are_c_elements_of_neighbours(self):
+        """Stage i: set = c(i-1)·c(i+1)', reset = c(i-1)'·c(i+1)."""
+        netlist = synthesize_gc(muller_pipeline(3))
+        for i in (1, 2):
+            gate = netlist.gates["c%d" % i]
+            assert gate.kind == GateKind.C_ELEMENT
+            assert equivalent(gate.set_expr,
+                              parse_expr("c%d & ~c%d" % (i - 1, i + 1)))
+            assert equivalent(gate.reset_expr,
+                              parse_expr("~c%d & c%d" % (i - 1, i + 1)))
+
+    def test_last_stage_follows_predecessor(self):
+        netlist = synthesize_gc(muller_pipeline(3))
+        gate = netlist.gates["c3"]
+        assert equivalent(gate.set_expr, parse_expr("c2"))
+        assert equivalent(gate.reset_expr, parse_expr("~c2"))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_pipeline_verifies_speed_independent(self, n):
+        stg = muller_pipeline(n)
+        netlist = synthesize_gc(stg)
+        report = verify_circuit(netlist, stg)
+        assert report.ok, report.summary()
+        assert report.states == 2 ** (n + 1)

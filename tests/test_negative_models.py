@@ -1,0 +1,91 @@
+"""Mutation tests: deliberately broken specifications must be caught by
+the right check (the analysis is only trustworthy if it rejects)."""
+
+import pytest
+
+from repro.analysis import check_implementability
+from repro.errors import ConsistencyError, UnboundedError
+from repro.stg import parse_g, vme_read, write_g
+from repro.ts import build_state_graph
+
+
+def mutate_g(replacements):
+    text = write_g(vme_read())
+    for old, new in replacements:
+        assert old in text
+        text = text.replace(old, new)
+    return text
+
+
+class TestBrokenVME:
+    def test_dropped_handshake_edge_breaks_consistency(self):
+        """Deleting LDTACK- makes LDTACK rise twice in a row."""
+        text = mutate_g([("p10 LDTACK-\n", ""),
+                         ("LDTACK- p0\n", ""),
+                         ("LDS- p10\n", "LDS- p0\n")])
+        stg = parse_g(text)
+        with pytest.raises(ConsistencyError):
+            build_state_graph(stg)
+
+    def test_double_marked_place_breaks_safeness(self):
+        text = mutate_g([(".marking { p0 p1 }", ".marking { p0 p1 p5 }")])
+        stg = parse_g(text)
+        with pytest.raises(UnboundedError):
+            build_state_graph(stg)
+
+    def test_swapped_roles_break_persistency_detection_direction(self):
+        """Making LDTACK an output and LDS an input flips who is blamed —
+        but the VME read cycle has no disabling at all, so both stay
+        persistent; the CSC conflict however persists regardless of
+        signal roles."""
+        text = mutate_g([(".inputs DSr LDTACK", ".inputs DSr LDS"),
+                         (".outputs D DTACK LDS", ".outputs D DTACK LDTACK")])
+        stg = parse_g(text)
+        report = check_implementability(stg)
+        assert report.consistent
+        assert not report.has_csc
+
+    def test_report_not_implementable_is_not_exception(self):
+        """Analysis reports problems rather than crashing."""
+        report = check_implementability(vme_read())
+        assert not report.implementable
+        assert report.summary()
+
+
+class TestGFormatEdges:
+    def test_dummy_declaration_parsed(self):
+        stg = parse_g("""
+.model withdummy
+.inputs a
+.outputs b
+.dummy eps
+.graph
+a+ eps~
+eps~ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+""")
+        assert stg.signals_of_type(stg.type_of("eps").__class__.DUMMY) \
+            == ["eps"]
+        sg = build_state_graph(stg)
+        # the dummy does not contribute a code bit change
+        assert len(sg) == 5
+
+    def test_unknown_directives_tolerated(self):
+        stg = parse_g("""
+.model tolerant
+.inputs a
+.outputs b
+.capacity 1
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+""")
+        assert len(stg.net.transitions) == 4

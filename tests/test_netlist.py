@@ -1,0 +1,107 @@
+"""Gate and netlist semantics, equation/Verilog export."""
+
+import pytest
+
+from repro.errors import ModelError, SynthesisError
+from repro.synth import Gate, GateKind, Netlist
+
+
+class TestGateSemantics:
+    def test_comb_gate(self):
+        g = Gate.comb("z", "a & b")
+        assert g.next_value({"a": 1, "b": 1, "z": 0}) == 1
+        assert g.next_value({"a": 0, "b": 1, "z": 1}) == 0
+
+    def test_comb_gate_with_feedback(self):
+        g = Gate.comb("z", "a & (z | ~b)")
+        assert g.next_value({"a": 1, "b": 1, "z": 1}) == 1  # holds
+        assert g.next_value({"a": 1, "b": 1, "z": 0}) == 0
+
+    def test_classic_c_element(self):
+        g = Gate.classic_c_element("c", "a", "b")
+        assert g.next_value({"a": 1, "b": 1, "c": 0}) == 1  # both high: set
+        assert g.next_value({"a": 0, "b": 0, "c": 1}) == 0  # both low: reset
+        assert g.next_value({"a": 1, "b": 0, "c": 1}) == 1  # hold
+        assert g.next_value({"a": 0, "b": 1, "c": 0}) == 0  # hold
+
+    def test_c_element_with_bubble(self):
+        g = Gate.classic_c_element("c", "a", "b", invert_b=True)
+        assert g.next_value({"a": 1, "b": 0, "c": 0}) == 1
+        assert g.next_value({"a": 0, "b": 1, "c": 1}) == 0
+
+    def test_sr_latch_dominance(self):
+        reset_dom = Gate.sr_latch("q", "s", "r", dominance="reset")
+        set_dom = Gate.sr_latch("q", "s", "r", dominance="set")
+        both = {"s": 1, "r": 1, "q": 0}
+        assert reset_dom.next_value(both) == 0
+        assert set_dom.next_value(both) == 1
+        hold = {"s": 0, "r": 0, "q": 1}
+        assert reset_dom.next_value(hold) == 1
+        assert set_dom.next_value(hold) == 1
+
+    def test_buffer(self):
+        g = Gate.buffer("y", "x")
+        assert g.next_value({"x": 1, "y": 0}) == 1
+
+    def test_latch_requires_both_functions(self):
+        with pytest.raises(ModelError):
+            Gate("z", GateKind.C_ELEMENT, set_expr=None, reset_expr=None)
+
+    def test_bad_dominance(self):
+        with pytest.raises(ModelError):
+            Gate.sr_latch("q", "s", "r", dominance="sideways")
+
+    def test_inputs_of_gates(self):
+        assert Gate.comb("z", "a & z").inputs() == {"a", "z"}
+        assert Gate.c_element("c", "a & b", "~a & ~b").inputs() == {"a", "b"}
+
+
+class TestNetlist:
+    def make(self):
+        n = Netlist("demo", inputs=["a", "b"])
+        n.add(Gate.comb("x", "a & b"))
+        n.add(Gate.comb("y", "x | a"))
+        return n
+
+    def test_outputs_and_signals(self):
+        n = self.make()
+        assert n.outputs == ["x", "y"]
+        assert n.signals() == ["a", "b", "x", "y"]
+        assert n.gate_count() == 2
+
+    def test_one_driver_per_signal(self):
+        n = self.make()
+        with pytest.raises(ModelError):
+            n.add(Gate.comb("x", "a"))
+
+    def test_cannot_drive_input(self):
+        n = self.make()
+        with pytest.raises(ModelError):
+            n.add(Gate.comb("a", "b"))
+
+    def test_validate_finds_undriven(self):
+        n = Netlist("bad", inputs=["a"])
+        n.add(Gate.comb("z", "a & ghost"))
+        with pytest.raises(SynthesisError):
+            n.validate()
+
+    def test_literal_count(self):
+        assert self.make().literal_count() == 4
+
+    def test_eqn_output(self):
+        text = self.make().to_eqn()
+        assert "x = a b" in text
+        assert "y = x + a" in text
+
+    def test_verilog_output(self):
+        text = self.make().to_verilog()
+        assert "module demo" in text
+        assert "assign x = (a) & (b);" in text
+        assert "endmodule" in text
+
+    def test_verilog_latch_emulation(self):
+        n = Netlist("l", inputs=["a", "b"])
+        n.add(Gate.classic_c_element("c", "a", "b"))
+        text = n.to_verilog()
+        assert "c-element" in text
+        assert "assign c" in text

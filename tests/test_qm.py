@@ -1,0 +1,123 @@
+"""Quine–McCluskey exact minimization, incl. property-based checks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolmin import (
+    cube_contains,
+    cube_to_str,
+    int_to_minterm,
+    literal_count,
+    minimize,
+    prime_implicants,
+    verify_cover,
+)
+
+
+class TestKnownFunctions:
+    def test_empty_onset(self):
+        assert minimize([], [], 3) == []
+
+    def test_full_onset_is_tautology(self):
+        assert minimize(list(range(8)), [], 3) == [(None, None, None)]
+
+    def test_onset_plus_dc_tautology(self):
+        assert minimize([0, 3], [1, 2], 2) == [(None, None)]
+
+    def test_or_function(self):
+        cover = minimize([0b01, 0b10, 0b11], [], 2)
+        assert sorted(cube_to_str(c) for c in cover) == ["-1", "1-"]
+
+    def test_xor_needs_two_cubes(self):
+        cover = minimize([0b01, 0b10], [], 2)
+        assert sorted(cube_to_str(c) for c in cover) == ["01", "10"]
+
+    def test_dc_enlarges_cubes(self):
+        # f(a,b) on {11}, dc {10}: minimal cover is "1-"
+        assert minimize([3], [2], 2) == [(1, None)]
+
+    def test_classic_4var_example(self):
+        """f = Σm(4,8,10,11,12,15) + d(9,14): the textbook QM example;
+        minimal cover has 3 cubes."""
+        onset = [4, 8, 10, 11, 12, 15]
+        dc = [9, 14]
+        cover = minimize(onset, dc, 4)
+        assert len(cover) == 3
+        assert verify_cover(cover, onset,
+                            [m for m in range(16)
+                             if m not in onset and m not in dc], 4)
+
+    def test_determinism(self):
+        a = minimize([1, 3, 5, 7, 9], [2, 11], 4)
+        b = minimize([9, 7, 5, 3, 1], [11, 2], 4)
+        assert a == b
+
+
+class TestPrimes:
+    def test_primes_of_or(self):
+        primes = prime_implicants([1, 2, 3], [], 2)
+        # two primes: -1 and 1-
+        assert len(primes) == 2
+
+    def test_primes_cover_all_onset(self):
+        onset = [0, 2, 5, 7]
+        primes = prime_implicants(onset, [], 3)
+        from repro.boolmin.quine_mccluskey import _implicant_covers
+
+        for m in onset:
+            assert any(_implicant_covers(p, m) for p in primes)
+
+
+@st.composite
+def onset_dc(draw, nvars=4):
+    universe = list(range(1 << nvars))
+    onset = draw(st.sets(st.sampled_from(universe), max_size=10))
+    dc = draw(st.sets(st.sampled_from(universe), max_size=6)) - onset
+    return sorted(onset), sorted(dc), nvars
+
+
+@given(onset_dc())
+@settings(max_examples=120, deadline=None)
+def test_cover_correctness(data):
+    onset, dc, n = data
+    cover = minimize(onset, dc, n)
+    offset = [m for m in range(1 << n) if m not in onset and m not in dc]
+    assert verify_cover(cover, onset, offset, n)
+
+
+@given(onset_dc())
+@settings(max_examples=60, deadline=None)
+def test_cover_cubes_are_primes(data):
+    """Each chosen cube must be a prime implicant (maximal)."""
+    onset, dc, n = data
+    cover = minimize(onset, dc, n)
+    care_on = set(onset) | set(dc)
+    for cube in cover:
+        # growing any fixed literal to don't-care must hit the OFF set
+        for pos in range(n):
+            if cube[pos] is None:
+                continue
+            grown = list(cube)
+            grown[pos] = None
+            grown_t = tuple(grown)
+            hits_off = any(
+                cube_contains(grown_t, int_to_minterm(m, n))
+                for m in range(1 << n) if m not in care_on
+            )
+            assert hits_off, "cube %s not prime" % cube_to_str(cube)
+
+
+@given(onset_dc())
+@settings(max_examples=60, deadline=None)
+def test_no_single_cube_redundant(data):
+    """Irredundancy: dropping any cube must uncover some ON minterm."""
+    onset, dc, n = data
+    cover = minimize(onset, dc, n)
+    if len(cover) <= 1:
+        return
+    for i in range(len(cover)):
+        rest = cover[:i] + cover[i + 1:]
+        uncovered = [
+            m for m in onset
+            if not any(cube_contains(c, int_to_minterm(m, n)) for c in rest)
+        ]
+        assert uncovered, "cube %d is redundant" % i

@@ -1,0 +1,145 @@
+"""Linear reductions (paper Section 2.2, Figure 6)."""
+
+import pytest
+
+from repro.petri import (
+    PetriNet,
+    full_reduce,
+    implicit_places,
+    is_live,
+    is_safe,
+    linear_reduce,
+    reachable_markings,
+    remove_implicit_places,
+)
+from repro.stg import vme_read, vme_read_write
+
+
+class TestSeriesFusion:
+    def test_chain_collapses_via_fst(self):
+        net = PetriNet("chain")
+        net.add_place("p0", tokens=1)
+        net.add_place("p1")
+        net.add_place("p2")
+        for t in ("t0", "t1"):
+            net.add_transition(t)
+        net.add_arc("p0", "t0")
+        net.add_arc("t0", "p1")
+        net.add_arc("p1", "t1")
+        net.add_arc("t1", "p2")
+        red = linear_reduce(net, rules=["fst"])
+        assert len(red.transitions) == 1
+        assert "t0.t1" in red.transitions
+
+    def test_fst_respects_marked_place(self):
+        net = PetriNet("marked-mid")
+        net.add_place("p0", tokens=1)
+        net.add_place("p1", tokens=1)  # marked middle place: not fusible
+        net.add_place("p2")
+        net.add_transition("t0")
+        net.add_transition("t1")
+        net.add_arc("p0", "t0")
+        net.add_arc("t0", "p1")
+        net.add_arc("p1", "t1")
+        net.add_arc("t1", "p2")
+        red = linear_reduce(net, rules=["fst"])
+        assert len(red.transitions) == 2
+
+    def test_fsp_merges_places(self):
+        net = PetriNet("fsp")
+        net.add_place("p0", tokens=1)
+        net.add_place("p1")
+        net.add_transition("t")
+        net.add_arc("p0", "t")
+        net.add_arc("t", "p1")
+        red = linear_reduce(net, rules=["fsp"])
+        assert len(red.places) == 1
+        assert len(red.transitions) == 0
+        merged = next(iter(red.places.values()))
+        assert merged.tokens == 1
+
+
+class TestParallelAndSelfLoop:
+    def test_parallel_places_fused(self):
+        net = PetriNet("pp")
+        net.add_place("a", tokens=1)
+        net.add_place("b", tokens=1)
+        net.add_transition("t")
+        net.add_transition("u")
+        for p in ("a", "b"):
+            net.add_arc("u", p)
+            net.add_arc(p, "t")
+        red = linear_reduce(net, rules=["fpp"])
+        assert len(red.places) == 1
+
+    def test_parallel_transitions_fused(self):
+        net = PetriNet("pt")
+        net.add_place("p", tokens=1)
+        net.add_place("q")
+        for t in ("t", "u"):
+            net.add_transition(t)
+            net.add_arc("p", t)
+            net.add_arc(t, "q")
+        red = linear_reduce(net, rules=["fpt"])
+        assert len(red.transitions) == 1
+
+    def test_self_loop_place_removed(self):
+        net = PetriNet("loop")
+        net.add_place("p", tokens=1)
+        net.add_place("busy", tokens=1)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "p")
+        net.add_arc("busy", "t")
+        net.add_arc("t", "busy")
+        red = linear_reduce(net, rules=["esp"])
+        assert len(red.places) < 2
+
+
+class TestPaperReductions:
+    def test_read_write_reduces_to_six_six(self):
+        """Figure 6: the READ/WRITE STG reduces to 6 places and 6 abstract
+        transitions."""
+        red = linear_reduce(vme_read_write().net)
+        assert len(red.transitions) == 6
+        assert len(red.places) == 6
+
+    def test_reduction_preserves_safeness_liveness(self):
+        red = linear_reduce(vme_read_write().net)
+        assert is_safe(red)
+        assert is_live(red)
+
+    def test_read_cycle_collapses_to_single_transition(self):
+        """Section 2.2: "it is possible to reduce the whole PN from
+        Figure 3 to a single self-loop transition"."""
+        red = full_reduce(vme_read().net)
+        assert len(red.transitions) == 1
+
+    def test_reduction_is_copy_by_default(self):
+        net = vme_read_write().net
+        before = net.stats()
+        linear_reduce(net)
+        assert net.stats() == before
+
+
+class TestImplicitPlaces:
+    def test_duplicate_place_is_implicit(self):
+        net = PetriNet("dup")
+        net.add_place("p", tokens=1)
+        net.add_place("shadow", tokens=1)
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("shadow", "t")
+        net.add_arc("t", "q")
+        imps = implicit_places(net)
+        assert "p" in imps and "shadow" in imps  # each shadows the other
+        red = remove_implicit_places(net)
+        # one of them must remain to constrain t
+        assert len(red.places) < len(net.places)
+        assert len(reachable_markings(red)) == len(reachable_markings(net))
+
+    def test_constraining_place_not_implicit(self):
+        net = vme_read().net
+        # p2 (DSr+ -> LDS+) genuinely constrains LDS+
+        assert "p2" not in implicit_places(net)

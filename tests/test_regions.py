@@ -1,0 +1,136 @@
+"""Region theory and PN synthesis (paper Section 4, Figure 10)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.regions import (
+    ENTER,
+    EXIT,
+    NOCROSS,
+    all_minimal_preregions,
+    event_gradient,
+    excitation_closure_holds,
+    excitation_region,
+    extract_stg,
+    is_region,
+    minimal_regions_containing,
+    synthesize_net,
+)
+from repro.stg import SignalType, latch_controller, vme_read, vme_read_csc
+from repro.ts import TransitionSystem, build_reachability_graph
+
+
+def diamond_ts():
+    """a and b concurrent: the classic 4-state diamond."""
+    ts = TransitionSystem("00")
+    ts.add_arc("00", "a", "10")
+    ts.add_arc("00", "b", "01")
+    ts.add_arc("10", "b", "11")
+    ts.add_arc("01", "a", "11")
+    ts.add_arc("11", "r", "00")
+    return ts
+
+
+class TestRegionPredicate:
+    def test_gradients_on_diamond(self):
+        ts = diamond_ts()
+        region = frozenset({"00", "01"})  # "a not yet fired"
+        assert event_gradient(ts, region, "a") == EXIT
+        assert event_gradient(ts, region, "r") == ENTER
+        assert event_gradient(ts, region, "b") == NOCROSS
+
+    def test_non_region_detected(self):
+        ts = diamond_ts()
+        # {00, 11}: 'a' exits from 00 but enters 11 via 01 -> not uniform
+        assert not is_region(ts, {"00", "11"})
+        assert is_region(ts, {"00", "01"})
+
+    def test_trivial_sets(self):
+        ts = diamond_ts()
+        assert is_region(ts, set(ts.states))
+        assert is_region(ts, set())
+
+    def test_excitation_region(self):
+        ts = diamond_ts()
+        assert excitation_region(ts, "a") == frozenset({"00", "01"})
+        assert excitation_region(ts, "r") == frozenset({"11"})
+
+
+class TestMinimalRegions:
+    def test_diamond_minimal_regions(self):
+        ts = diamond_ts()
+        regions = minimal_regions_containing(ts, {"00", "01"})
+        assert frozenset({"00", "01"}) in regions
+
+    def test_preregions_exist_for_every_event(self):
+        ts = build_reachability_graph(vme_read())
+        pre = all_minimal_preregions(ts)
+        assert all(pre[e] for e in ts.events)
+
+    def test_excitation_closure_on_vme(self):
+        ts = build_reachability_graph(vme_read())
+        holds, _ = excitation_closure_holds(ts)
+        assert holds
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("maker", [vme_read, vme_read_csc,
+                                       latch_controller])
+    def test_roundtrip_bisimilar(self, maker):
+        stg = maker()
+        ts = build_reachability_graph(stg)
+        net, place_map = synthesize_net(ts)
+        ts2 = build_reachability_graph(net)
+        assert ts.bisimilar(ts2), stg.name
+
+    def test_place_map_regions_are_regions(self):
+        ts = build_reachability_graph(vme_read())
+        net, place_map = synthesize_net(ts)
+        for name, region in place_map.items():
+            assert is_region(ts, region)
+
+    def test_initial_marking_matches_initial_state(self):
+        ts = build_reachability_graph(vme_read())
+        net, place_map = synthesize_net(ts)
+        for name, region in place_map.items():
+            expected = 1 if ts.initial in region else 0
+            assert net.places[name].tokens == expected
+
+    def test_synthesized_net_is_irredundant(self):
+        """Dropping any place must change behaviour (excitation closure)."""
+        ts = build_reachability_graph(vme_read())
+        net, place_map = synthesize_net(ts)
+        from repro.regions.region import event_gradient as grad
+
+        for name in place_map:
+            regions = [r for n, r in place_map.items() if n != name]
+            # at least one event must lose closure
+            lost = False
+            for event in ts.events:
+                pre = [r for r in regions
+                       if grad(ts, r, event) == EXIT]
+                inter = frozenset(ts.states)
+                for r in pre:
+                    inter &= r
+                if not pre or inter != excitation_region(ts, event):
+                    lost = True
+                    break
+            assert lost, "place %s (%s) is redundant" % (
+                name, sorted(map(repr, place_map[name])))
+
+
+class TestSTGExtraction:
+    def test_extract_back_annotated_stg(self):
+        """Figure 10(a) round trip on the specification itself."""
+        stg = vme_read()
+        ts = build_reachability_graph(stg)
+        types = {s: stg.type_of(s) for s in stg.signals}
+        extracted = extract_stg(ts, types, name="fig10a")
+        assert set(extracted.signals) == set(stg.signals)
+        ts2 = build_reachability_graph(extracted)
+        assert ts.bisimilar(ts2)
+
+    def test_extract_requires_classification(self):
+        ts = build_reachability_graph(vme_read())
+        with pytest.raises(SynthesisError):
+            extract_stg(ts, {"DSr": SignalType.INPUT})  # missing signals

@@ -1,0 +1,140 @@
+"""Time separation of events on timed marked graphs (paper Section 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.petri import PetriNet
+from repro.stg import pipeline_ring, vme_read
+from repro.timing import (
+    TimedMarkedGraph,
+    UnrolledGraph,
+    max_separation,
+    max_separation_unrolled,
+    validates_assumption,
+)
+
+
+def two_branch_net(da, db):
+    """fork -> two parallel branches (a, b) -> join; delays per transition."""
+    net = PetriNet("fork2")
+    net.add_place("p0", tokens=1)
+    for name in ("pa", "pb", "qa", "qb"):
+        net.add_place(name)
+    for t in ("fork", "a", "b", "join"):
+        net.add_transition(t)
+    net.add_arc("p0", "fork")
+    net.add_arc("fork", "pa")
+    net.add_arc("fork", "pb")
+    net.add_arc("pa", "a")
+    net.add_arc("pb", "b")
+    net.add_arc("a", "qa")
+    net.add_arc("b", "qb")
+    net.add_arc("qa", "join")
+    net.add_arc("qb", "join")
+    net.add_arc("join", "p0")
+    delays = {"fork": (0, 0), "join": (0, 0), "a": da, "b": db}
+    return TimedMarkedGraph(net, delays)
+
+
+class TestValidation:
+    def test_requires_marked_graph(self):
+        from repro.stg import vme_read_write
+
+        with pytest.raises(ModelError):
+            TimedMarkedGraph(vme_read_write().net, {})
+
+    def test_requires_all_delays(self):
+        net = pipeline_ring(3).net
+        with pytest.raises(ModelError):
+            TimedMarkedGraph(net, {"s0+": (1, 2)})
+
+    def test_rejects_bad_intervals(self):
+        net = pipeline_ring(3).net
+        delays = {t: (1, 2) for t in net.transitions}
+        bad = dict(delays)
+        bad[next(iter(net.transitions))] = (3, 1)
+        with pytest.raises(ModelError):
+            TimedMarkedGraph(net, bad)
+
+
+class TestTwoBranch:
+    def test_deterministic_delays(self):
+        """a takes exactly 3, b exactly 5: sep(a,b) = -2, sep(b,a) = 2."""
+        tmg = two_branch_net((3, 3), (5, 5))
+        assert max_separation_unrolled(tmg, ("a", 0), ("b", 0)) == -2
+        assert max_separation_unrolled(tmg, ("b", 0), ("a", 0)) == 2
+
+    def test_interval_delays_worst_case(self):
+        """a in [1,4], b in [2,6]: max(t_a - t_b) = 4 - 2 = 2."""
+        tmg = two_branch_net((1, 4), (2, 6))
+        assert max_separation_unrolled(tmg, ("a", 0), ("b", 0)) == 2
+        assert max_separation_unrolled(tmg, ("b", 0), ("a", 0)) == 5
+
+    def test_negative_separation_proves_ordering(self):
+        """a in [1,2], b in [5,9]: a always first; sep(a,b) = 2-5 = -3."""
+        tmg = two_branch_net((1, 2), (5, 9))
+        assert max_separation_unrolled(tmg, ("a", 0), ("b", 0)) == -3
+        assert validates_assumption(tmg, "a", "b")
+        assert not validates_assumption(tmg, "b", "a")
+
+
+class TestCyclic:
+    def test_sequential_ring_separation(self):
+        """In a 4-stage ring with unit delays, consecutive stages are
+        exactly one delay apart."""
+        net = pipeline_ring(4).net
+        delays = {t: (1, 1) for t in net.transitions}
+        tmg = TimedMarkedGraph(net, delays)
+        # the ring fires s0+, s1-, s2+, s3- in sequence each cycle
+        transitions = sorted(net.transitions)
+        sep = max_separation(tmg, transitions[1], transitions[0])
+        assert sep == pytest.approx(1.0)
+
+    def test_vme_assumption_validation(self):
+        """With a slow bus and a fast device, LDTACK- precedes the next
+        DSr+ — the Figure 11(a) assumption is justified."""
+        delays = {
+            "DSr+": (18, 25), "DSr-": (4, 6), "DTACK+": (1, 2),
+            "DTACK-": (1, 2), "LDS+": (1, 2), "LDS-": (1, 2),
+            "LDTACK+": (3, 5), "LDTACK-": (3, 5), "D+": (1, 2), "D-": (1, 2),
+        }
+        tmg = TimedMarkedGraph(vme_read().net, delays)
+        assert validates_assumption(tmg, "LDTACK-", "DSr+",
+                                    occurrence_offset=-1)
+
+    def test_vme_assumption_fails_with_fast_bus(self):
+        delays = {t: (1, 2) for t in vme_read().net.transitions}
+        tmg = TimedMarkedGraph(vme_read().net, delays)
+        assert not validates_assumption(tmg, "LDTACK-", "DSr+",
+                                        occurrence_offset=-1)
+
+
+class TestUnrolledGraph:
+    def test_topological_order_complete(self):
+        net = vme_read().net
+        delays = {t: (1, 2) for t in net.transitions}
+        graph = UnrolledGraph(TimedMarkedGraph(net, delays), 3)
+        assert len(graph.topo) == 3 * len(net.transitions)
+
+    def test_corner_times_bound_path_times(self):
+        tmg = two_branch_net((1, 4), (2, 6))
+        graph = UnrolledGraph(tmg, 1)
+        lo = graph.earliest_latest(use_max=False)
+        hi = graph.earliest_latest(use_max=True)
+        for node in graph.topo:
+            assert lo[node] <= hi[node]
+
+
+@given(st.integers(1, 5), st.integers(0, 3), st.integers(1, 5),
+       st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_separation_antisymmetry_bound(la, wa, lb, wb):
+    """sep(a,b) + sep(b,a) >= 0 always (max is over independent choices)."""
+    tmg = two_branch_net((la, la + wa), (lb, lb + wb))
+    ab = max_separation_unrolled(tmg, ("a", 0), ("b", 0))
+    ba = max_separation_unrolled(tmg, ("b", 0), ("a", 0))
+    assert ab + ba >= 0
+    # and each is bounded by the extreme corner difference
+    assert ab <= (la + wa) - lb
+    assert ba <= (lb + wb) - la

@@ -1,0 +1,67 @@
+"""SignalEvent parsing and algebra."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.stg import FALL, RISE, SignalEvent, SignalType
+
+
+class TestParsing:
+    def test_simple_rise(self):
+        e = SignalEvent.parse("DSr+")
+        assert e.signal == "DSr" and e.is_rising and e.instance == 0
+
+    def test_simple_fall(self):
+        e = SignalEvent.parse("LDTACK-")
+        assert e.signal == "LDTACK" and e.is_falling
+
+    def test_instance_suffix(self):
+        e = SignalEvent.parse("LDS+/2")
+        assert (e.signal, e.direction, e.instance) == ("LDS", "+", 2)
+
+    def test_str_roundtrip(self):
+        for text in ("a+", "a-", "a+/3", "sig_1-"):
+            assert str(SignalEvent.parse(text)) == text
+
+    def test_instance_zero_suppressed(self):
+        assert str(SignalEvent("a", RISE, 0)) == "a+"
+
+    def test_bad_tokens_rejected(self):
+        for bad in ("a", "+a", "a++", "", "a+/x"):
+            with pytest.raises(ParseError):
+                SignalEvent.parse(bad)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ParseError):
+            SignalEvent("a", "x")
+
+
+class TestAlgebra:
+    def test_opposite(self):
+        assert SignalEvent.parse("a+").opposite() == SignalEvent.parse("a-")
+        assert SignalEvent.parse("a-").opposite() == SignalEvent.parse("a+")
+
+    def test_opposite_preserves_instance_by_default(self):
+        e = SignalEvent.parse("a+/2").opposite()
+        assert e.instance == 2
+
+    def test_base_ignores_instance(self):
+        assert SignalEvent.parse("a+/5").base() == ("a", "+")
+
+    def test_equality_and_hash(self):
+        a = SignalEvent.parse("x+/1")
+        b = SignalEvent("x", RISE, 1)
+        assert a == b and hash(a) == hash(b)
+        assert a != SignalEvent.parse("x+")
+
+    def test_dummy_event(self):
+        e = SignalEvent("eps", "~")
+        assert e.is_dummy and not e.is_rising and not e.is_falling
+
+
+class TestSignalType:
+    def test_noninput_classification(self):
+        assert SignalType.OUTPUT.is_noninput
+        assert SignalType.INTERNAL.is_noninput
+        assert not SignalType.INPUT.is_noninput
+        assert not SignalType.DUMMY.is_noninput

@@ -1,0 +1,107 @@
+"""Monte-Carlo timed simulation, cross-validated against the exact
+analytical timing engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.stg import pipeline_ring, vme_read
+from repro.timing import (
+    TimedMarkedGraph,
+    cycle_time,
+    empirical_max_separation,
+    max_separation,
+    simulate,
+)
+
+VME_DELAYS = {
+    "DSr+": (18, 25), "DSr-": (4, 6), "DTACK+": (1, 2), "DTACK-": (1, 2),
+    "LDS+": (1, 2), "LDS-": (1, 2), "LDTACK+": (3, 5), "LDTACK-": (3, 5),
+    "D+": (1, 2), "D-": (1, 2),
+}
+
+
+def vme_tmg():
+    return TimedMarkedGraph(vme_read().net, VME_DELAYS)
+
+
+def ring_tmg(n=5, tokens=1, delay=(2, 4)):
+    net = pipeline_ring(n, tokens).net
+    return TimedMarkedGraph(net, {t: delay for t in net.transitions})
+
+
+class TestSimulation:
+    def test_reproducible(self):
+        a = simulate(vme_tmg(), cycles=10, seed=42)
+        b = simulate(vme_tmg(), cycles=10, seed=42)
+        assert a.times == b.times
+
+    def test_all_transitions_fire_every_cycle(self):
+        trace = simulate(vme_tmg(), cycles=12, seed=0)
+        for t in vme_read().net.transitions:
+            assert len(trace.occurrences(t)) == 12
+
+    def test_firing_times_monotone(self):
+        trace = simulate(vme_tmg(), cycles=12, seed=1)
+        for times in trace.times.values():
+            assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_causality_respected(self):
+        """Every consumer fires after its producer (per occurrence)."""
+        tmg = vme_tmg()
+        trace = simulate(tmg, cycles=10, seed=2)
+        for producer, consumer, tokens in tmg.dependencies():
+            for k in range(tokens, 10):
+                assert (trace.occurrences(consumer)[k]
+                        >= trace.occurrences(producer)[k - tokens])
+
+    def test_deterministic_corners(self):
+        tmg = vme_tmg()
+        hi = simulate(tmg, cycles=15, deterministic="max")
+        lo = simulate(tmg, cycles=15, deterministic="min")
+        assert hi.cycle_time_estimate("DSr+") == pytest.approx(
+            cycle_time(tmg), abs=1e-6)
+        assert lo.cycle_time_estimate("DSr+") == pytest.approx(
+            cycle_time(tmg, use_max=False), abs=1e-6)
+
+    def test_bad_deterministic_flag(self):
+        with pytest.raises(ModelError):
+            simulate(vme_tmg(), cycles=3, deterministic="typical")
+
+
+class TestCrossValidation:
+    def test_stochastic_cycle_time_within_analytic_bounds(self):
+        tmg = vme_tmg()
+        trace = simulate(tmg, cycles=80, seed=7)
+        estimate = trace.cycle_time_estimate("DSr+")
+        assert cycle_time(tmg, use_max=False) - 1e-6 <= estimate \
+            <= cycle_time(tmg, use_max=True) + 1e-6
+
+    def test_empirical_separation_bounded_by_exact(self):
+        tmg = vme_tmg()
+        exact = max_separation(tmg, "LDTACK-", "DSr+", occurrence_offset=-1)
+        empirical = empirical_max_separation(
+            tmg, "LDTACK-", "DSr+", occurrence_offset=-1, samples=25,
+            cycles=20)
+        assert empirical <= exact + 1e-9
+
+    def test_ring_cycle_time(self):
+        tmg = ring_tmg(5, 1, delay=(3, 3))
+        trace = simulate(tmg, cycles=30, seed=0)
+        t = sorted(tmg.net.transitions)[0]
+        assert trace.cycle_time_estimate(t) == pytest.approx(15.0, abs=1e-9)
+
+
+@given(st.integers(3, 7), st.integers(1, 2), st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_simulated_separations_never_exceed_exact(n, tokens, seed):
+    tokens = min(tokens, n)
+    net = pipeline_ring(n, tokens).net
+    delays = {t: (1, 3) for t in net.transitions}
+    tmg = TimedMarkedGraph(net, delays)
+    transitions = sorted(net.transitions)
+    a, b = transitions[0], transitions[-1]
+    exact = max_separation(tmg, a, b)
+    trace = simulate(tmg, cycles=15, seed=seed)
+    for value in trace.separation(a, b)[3:]:
+        assert value <= exact + 1e-9

@@ -1,0 +1,84 @@
+"""Stubborn-set partial-order reduction (paper Section 2.2)."""
+
+import pytest
+
+from repro.analysis import (
+    deadlocks_reduced,
+    reduced_reachability,
+    reduction_statistics,
+    stubborn_set,
+)
+from repro.petri import PetriNet, find_deadlocks
+from repro.stg import parallel_handshakes, vme_read
+
+
+def independent_deadlock_net(n=3):
+    """n independent one-shot transitions; single deadlock at the end."""
+    net = PetriNet("indep%d" % n)
+    for i in range(n):
+        net.add_place("p%d" % i, tokens=1)
+        net.add_place("q%d" % i)
+        net.add_transition("t%d" % i)
+        net.add_arc("p%d" % i, "t%d" % i)
+        net.add_arc("t%d" % i, "q%d" % i)
+    return net
+
+
+class TestStubbornSets:
+    def test_empty_at_deadlock(self):
+        net = independent_deadlock_net(1)
+        from repro.petri import fire
+
+        dead = fire(net, net.initial_marking, "t0")
+        assert stubborn_set(net, dead) == set()
+
+    def test_independent_transitions_give_singleton(self):
+        net = independent_deadlock_net(3)
+        s = stubborn_set(net, net.initial_marking)
+        assert len([t for t in s]) == 1
+
+    def test_conflicting_transitions_grouped(self):
+        net = PetriNet("conflict")
+        net.add_place("p", tokens=1)
+        net.add_place("a")
+        net.add_place("b")
+        net.add_transition("ta")
+        net.add_transition("tb")
+        net.add_arc("p", "ta")
+        net.add_arc("p", "tb")
+        net.add_arc("ta", "a")
+        net.add_arc("tb", "b")
+        s = stubborn_set(net, net.initial_marking)
+        assert s == {"ta", "tb"}
+
+
+class TestReducedExploration:
+    def test_deadlocks_preserved_independent(self):
+        net = independent_deadlock_net(4)
+        assert deadlocks_reduced(net) == find_deadlocks(net)
+
+    def test_reduction_is_exponential_on_independent_net(self):
+        net = independent_deadlock_net(5)
+        stats = reduction_statistics(net)
+        assert stats["full_states"] == 2 ** 5
+        assert stats["reduced_states"] == 5 + 1  # a single interleaving
+
+    def test_deadlock_free_net_agreement(self):
+        net = vme_read().net
+        assert deadlocks_reduced(net) == []
+
+    def test_parallel_handshakes_reduced(self):
+        net = parallel_handshakes(3).net
+        stats = reduction_statistics(net)
+        assert stats["full_states"] == 4 ** 3
+        assert stats["reduced_states"] < stats["full_states"]
+        assert deadlocks_reduced(net) == []
+
+    def test_reduced_ts_is_subgraph(self):
+        net = parallel_handshakes(2).net
+        from repro.ts import build_reachability_graph
+
+        full = build_reachability_graph(net)
+        reduced = reduced_reachability(net)
+        full_states = set(full.states)
+        assert all(s in full_states for s in reduced.states)

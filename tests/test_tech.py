@@ -1,0 +1,109 @@
+"""Decomposition and technology mapping (paper Section 3.4, Figure 9)."""
+
+import pytest
+
+from repro.boolmin import equivalent, parse_expr
+from repro.errors import SynthesisError
+from repro.stg import latch_controller, vme_read, vme_read_csc
+from repro.synth import Gate, Netlist, synthesize_complex_gates
+from repro.tech import (
+    TWO_INPUT_LIBRARY,
+    algebraic_divisors,
+    decompose,
+    is_fully_mapped,
+    map_netlist,
+    match_combinational,
+)
+from repro.verify import verify_circuit
+
+
+class TestLibraryMatching:
+    def test_and_gate(self):
+        cell, inputs = match_combinational(parse_expr("a & b"))
+        assert cell.name == "and2"
+        assert set(inputs) == {"a", "b"}
+
+    def test_bubbled_and(self):
+        cell, inputs = match_combinational(parse_expr("a & ~b"))
+        assert cell.name == "and2b1"
+        assert inputs == ("a", "b")
+
+    def test_bubbled_or_either_orientation(self):
+        cell, inputs = match_combinational(parse_expr("~a | b"))
+        assert cell.name == "or2b1"
+        assert inputs == ("b", "a")
+
+    def test_inverter_and_buffer(self):
+        assert match_combinational(parse_expr("~x"))[0].name == "inv"
+        assert match_combinational(parse_expr("x"))[0].name == "buf"
+
+    def test_three_input_unmatched(self):
+        assert match_combinational(parse_expr("a & b & c")) is None
+
+    def test_map_netlist_labels(self):
+        n = Netlist("m", inputs=["a", "b"])
+        n.add(Gate.comb("x", "a & b"))
+        n.add(Gate.comb("y", "a & b | x"))  # 3 literals: complex
+        mapping = map_netlist(n)
+        assert mapping["x"] == "and2"
+        assert mapping["y"] == "complex"
+        assert not is_fully_mapped(n)
+
+    def test_sequential_mapping(self):
+        n = Netlist("s", inputs=["a", "b"])
+        n.add(Gate.classic_c_element("c", "a", "b"))
+        n.add(Gate.sr_latch("q", "a", "b"))
+        mapping = map_netlist(n)
+        assert mapping["c"] == "c2"
+        assert mapping["q"] == "sr_latch"
+
+
+class TestDivisors:
+    def test_csc0_divisor_is_map0(self):
+        """Factoring DSr csc0 + DSr LDTACK' must propose csc0 + LDTACK'."""
+        from repro.boolmin import cube_from_str
+
+        variables = ["DSr", "LDTACK", "csc0"]
+        cubes = [cube_from_str("1-1"), cube_from_str("10-")]
+        divisors = algebraic_divisors(cubes, variables)
+        target = parse_expr("csc0 | ~LDTACK")
+        assert any(equivalent(d, target) for d in divisors)
+
+    def test_single_multi_literal_cube_proposes_itself(self):
+        from repro.boolmin import cube_from_str
+
+        divisors = algebraic_divisors([cube_from_str("11")], ["a", "b"])
+        assert any(equivalent(d, parse_expr("a & b")) for d in divisors)
+
+    def test_no_divisors_for_single_literal(self):
+        from repro.boolmin import cube_from_str
+
+        assert algebraic_divisors([cube_from_str("1-")], ["a", "b"]) == []
+
+
+class TestDecomposition:
+    def test_vme_decomposition_rediscovers_figure9a(self):
+        net = decompose(vme_read_csc())
+        assert is_fully_mapped(net)
+        # the decomposition signal exists and is read by >= 2 gates
+        # (the multiple-acknowledgment condition of Section 3.4)
+        readers = [z for z, g in net.gates.items()
+                   if "map0" in g.inputs() and z != "map0"]
+        assert len(readers) >= 2
+        assert equivalent(net.gates["map0"].expr,
+                          parse_expr("csc0 | ~LDTACK"))
+
+    def test_decomposed_circuit_is_si(self):
+        net = decompose(vme_read_csc())
+        report = verify_circuit(net, vme_read())
+        assert report.ok, report.summary()
+
+    def test_already_small_netlist_untouched(self):
+        stg = latch_controller()
+        net = decompose(stg)
+        base = synthesize_complex_gates(stg)
+        assert set(net.gates) == set(base.gates)
+
+    def test_unsupported_fanin(self):
+        with pytest.raises(SynthesisError):
+            decompose(vme_read_csc(), max_fanin=3)

@@ -1,0 +1,118 @@
+"""Tests for enabling/firing semantics (paper Section 1.2)."""
+
+import pytest
+
+from repro.errors import ModelError, UnboundedError
+from repro.petri import (
+    Marking,
+    PetriNet,
+    can_fire_sequence,
+    enabled_transitions,
+    fire,
+    fire_safe,
+    fire_sequence,
+    is_enabled,
+    language_prefixes,
+    random_walk,
+)
+
+
+def fork_join():
+    """t0 forks into two branches joined by t3."""
+    net = PetriNet("forkjoin")
+    for p in ["p0", "a1", "a2", "b1", "b2", "p1"]:
+        net.add_place(p)
+    net.places["p0"].tokens = 1
+    for t in ["t0", "ta", "tb", "t3"]:
+        net.add_transition(t)
+    net.add_arc("p0", "t0")
+    net.add_arc("t0", "a1")
+    net.add_arc("t0", "b1")
+    net.add_arc("a1", "ta")
+    net.add_arc("ta", "a2")
+    net.add_arc("b1", "tb")
+    net.add_arc("tb", "b2")
+    net.add_arc("a2", "t3")
+    net.add_arc("b2", "t3")
+    net.add_arc("t3", "p1")
+    return net
+
+
+class TestEnabling:
+    def test_initially_only_fork_enabled(self):
+        net = fork_join()
+        assert enabled_transitions(net, net.initial_marking) == ["t0"]
+
+    def test_concurrent_branches(self):
+        net = fork_join()
+        m = fire(net, net.initial_marking, "t0")
+        assert enabled_transitions(net, m) == ["ta", "tb"]
+
+    def test_join_requires_both(self):
+        net = fork_join()
+        m = fire_sequence(net, net.initial_marking, ["t0", "ta"])
+        assert not is_enabled(net, m, "t3")
+        m = fire(net, m, "tb")
+        assert is_enabled(net, m, "t3")
+
+    def test_unknown_transition(self):
+        net = fork_join()
+        with pytest.raises(ModelError):
+            is_enabled(net, net.initial_marking, "zzz")
+
+
+class TestFiring:
+    def test_fire_moves_tokens(self):
+        net = fork_join()
+        m = fire(net, net.initial_marking, "t0")
+        assert m == Marking({"a1": 1, "b1": 1})
+
+    def test_fire_disabled_raises(self):
+        net = fork_join()
+        with pytest.raises(ModelError):
+            fire(net, net.initial_marking, "t3")
+
+    def test_fire_sequence_to_completion(self):
+        net = fork_join()
+        final = fire_sequence(net, net.initial_marking,
+                              ["t0", "tb", "ta", "t3"])
+        assert final == Marking({"p1": 1})
+
+    def test_can_fire_sequence(self):
+        net = fork_join()
+        m = net.initial_marking
+        assert can_fire_sequence(net, m, ["t0", "ta", "tb", "t3"])
+        assert not can_fire_sequence(net, m, ["t0", "t3"])
+
+    def test_fire_safe_detects_overflow(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_transition("t")
+        net.add_arc("t", "p")  # pure producer
+        net.add_place("src", tokens=1)
+        net.add_arc("src", "t")
+        with pytest.raises(UnboundedError):
+            fire_safe(net, net.initial_marking, "t")
+
+
+class TestWalksAndLanguage:
+    def test_random_walk_is_reproducible(self):
+        net = fork_join()
+        w1 = random_walk(net, 10, seed=7)
+        w2 = random_walk(net, 10, seed=7)
+        assert w1 == w2
+
+    def test_random_walk_stops_at_deadlock(self):
+        net = fork_join()
+        walk = random_walk(net, 100, seed=0)
+        assert len(walk) == 4  # t0, ta/tb, t3 then dead
+        assert walk[-1][1] == Marking({"p1": 1})
+
+    def test_language_prefixes_counts(self):
+        net = fork_join()
+        seqs = set(language_prefixes(net, 4))
+        # (), t0, t0 ta, t0 tb, t0 ta tb, t0 tb ta, + two length-4 joins
+        assert () in seqs
+        assert ("t0", "ta", "tb", "t3") in seqs
+        assert ("t0", "tb", "ta", "t3") in seqs
+        assert len(seqs) == 8

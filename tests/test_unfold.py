@@ -1,0 +1,90 @@
+"""McMillan complete prefixes and ordering relations (paper Section 2.2)."""
+
+import pytest
+
+from repro.errors import StateExplosionError
+from repro.petri import PetriNet, reachable_markings
+from repro.stg import parallel_handshakes, vme_read, vme_read_write
+from repro.unfold import unfold
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("maker", [
+        lambda: vme_read().net,
+        lambda: vme_read_write().net,
+        lambda: parallel_handshakes(2).net,
+    ])
+    def test_prefix_represents_all_markings(self, maker):
+        net = maker()
+        prefix = unfold(net)
+        assert prefix.represented_markings() == reachable_markings(net)
+
+    def test_prefix_has_cutoffs_for_cyclic_nets(self):
+        prefix = unfold(vme_read().net)
+        assert prefix.stats()["cutoffs"] >= 1
+
+    def test_event_limit_enforced(self):
+        with pytest.raises(StateExplosionError):
+            unfold(vme_read().net, max_events=3)
+
+
+class TestCompactness:
+    def test_prefix_much_smaller_than_rg_on_concurrent_net(self):
+        """Section 2.2: unfoldings are often more compact than the RG."""
+        net = parallel_handshakes(4).net
+        prefix = unfold(net)
+        rg_size = len(reachable_markings(net))  # 256
+        assert prefix.stats()["events"] < rg_size / 4
+
+    def test_prefix_linear_in_channels(self):
+        events = [unfold(parallel_handshakes(n).net).stats()["events"]
+                  for n in (1, 2, 3)]
+        # exactly 4 events per independent channel
+        assert events == [4, 8, 12]
+
+
+class TestOrderingRelations:
+    def test_causal_precedence_in_read_cycle(self):
+        prefix = unfold(vme_read().net)
+        by_transition = {}
+        for e in prefix.events:
+            by_transition.setdefault(e.transition, []).append(e.eid)
+        dsr = by_transition["DSr+"][0]
+        lds = by_transition["LDS+"][0]
+        d_plus = by_transition["D+"][0]
+        assert prefix.precedes(dsr, lds)
+        assert prefix.precedes(dsr, d_plus)
+        assert not prefix.precedes(d_plus, dsr)
+
+    def test_concurrency_of_reset_events(self):
+        """DTACK- and LDS- are concurrent in the READ cycle (Section 1.3)."""
+        prefix = unfold(vme_read().net)
+        by_transition = {e.transition: e.eid for e in prefix.events}
+        dtack_minus = by_transition["DTACK-"]
+        lds_minus = by_transition["LDS-"]
+        assert prefix.concurrent(dtack_minus, lds_minus)
+
+    def test_conflict_between_read_and_write(self):
+        prefix = unfold(vme_read_write().net)
+        by_transition = {}
+        for e in prefix.events:
+            by_transition.setdefault(e.transition, []).append(e.eid)
+        dsr = by_transition["DSr+"][0]
+        dsw = by_transition["DSw+"][0]
+        assert prefix.in_conflict(dsr, dsw)
+        assert not prefix.concurrent(dsr, dsw)
+        assert not prefix.precedes(dsr, dsw)
+
+    def test_relations_are_mutually_exclusive(self):
+        prefix = unfold(vme_read_write().net)
+        for e1 in prefix.events[:10]:
+            for e2 in prefix.events[:10]:
+                if e1.eid == e2.eid:
+                    continue
+                relations = [
+                    prefix.precedes(e1.eid, e2.eid),
+                    prefix.precedes(e2.eid, e1.eid),
+                    prefix.in_conflict(e1.eid, e2.eid),
+                    prefix.concurrent(e1.eid, e2.eid),
+                ]
+                assert sum(relations) == 1

@@ -1,0 +1,139 @@
+"""Speed-independence verification — the Figures 8 and 9 experiments."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.stg import vme_read, vme_read_csc, latch_controller
+from repro.synth import Gate, Netlist, synthesize_complex_gates
+from repro.verify import stable_internal_values, verify_circuit
+
+
+def fig8a():
+    """C-element implementation (Figure 8a)."""
+    n = Netlist("fig8a", inputs=["DSr", "LDTACK"])
+    n.add(Gate.classic_c_element("csc0", "DSr", "LDTACK", invert_b=True))
+    n.add(Gate.comb("D", "LDTACK & csc0"))
+    n.add(Gate.comb("LDS", "csc0 | D"))
+    n.add(Gate.buffer("DTACK", "D"))
+    return n
+
+
+def fig8b():
+    """Reset-dominant RS-latch implementation (Figure 8b)."""
+    n = Netlist("fig8b", inputs=["DSr", "LDTACK"])
+    n.add(Gate.sr_latch("csc0", "DSr & ~LDTACK", "~DSr", dominance="reset"))
+    n.add(Gate.comb("D", "LDTACK & csc0"))
+    n.add(Gate.comb("LDS", "csc0 | D"))
+    n.add(Gate.buffer("DTACK", "D"))
+    return n
+
+
+def fig9a():
+    """Two-input decomposition with multiple acknowledgment (Figure 9a)."""
+    n = Netlist("fig9a", inputs=["DSr", "LDTACK"])
+    n.add(Gate.comb("map0", "csc0 | ~LDTACK"))
+    n.add(Gate.comb("csc0", "DSr & map0"))
+    n.add(Gate.comb("D", "LDTACK & map0"))
+    n.add(Gate.comb("LDS", "csc0 | D"))
+    n.add(Gate.buffer("DTACK", "D"))
+    return n
+
+
+def fig9b():
+    """Same decomposition but map0 only acknowledged by csc0 (Figure 9b) —
+    the paper's hazardous variant."""
+    n = Netlist("fig9b", inputs=["DSr", "LDTACK"])
+    n.add(Gate.comb("map0", "csc0 | ~LDTACK"))
+    n.add(Gate.comb("csc0", "DSr & map0"))
+    n.add(Gate.comb("D", "LDTACK & csc0"))
+    n.add(Gate.comb("LDS", "csc0 | D"))
+    n.add(Gate.buffer("DTACK", "D"))
+    return n
+
+
+class TestPaperCircuits:
+    def test_complex_gate_circuit_ok(self):
+        netlist = synthesize_complex_gates(vme_read_csc())
+        report = verify_circuit(netlist, vme_read())
+        assert report.ok
+        assert report.states == 16
+
+    @pytest.mark.parametrize("maker", [fig8a, fig8b, fig9a])
+    def test_hazard_free_circuits(self, maker):
+        report = verify_circuit(maker(), vme_read())
+        assert report.ok, report.summary()
+
+    def test_fig9b_is_hazardous(self):
+        report = verify_circuit(fig9b(), vme_read())
+        assert not report.hazard_free
+        hazard_signals = {h.signal for h in report.hazards}
+        assert "map0" in hazard_signals
+        # the witness the paper predicts: map0's falling excitation is
+        # withdrawn by LDTACK- (nobody acknowledges it)
+        assert any(h.signal == "map0" and h.by == "LDTACK-"
+                   for h in report.hazards)
+
+    def test_fig9b_stop_at_first(self):
+        report = verify_circuit(fig9b(), vme_read(), stop_at_first=True)
+        assert len(report.hazards) + len(report.failures) == 1
+
+
+class TestConformance:
+    def test_wrong_polarity_circuit_fails(self):
+        n = Netlist("bad", inputs=["DSr", "LDTACK"])
+        n.add(Gate.comb("LDS", "DSr"))  # fires LDS+ way too early? no: ok
+        n.add(Gate.comb("D", "DSr"))    # D+ without waiting for LDTACK+
+        n.add(Gate.buffer("DTACK", "D"))
+        report = verify_circuit(n, vme_read())
+        assert not report.conformant
+        assert any(f.event == "D+" for f in report.failures)
+
+    def test_missing_driver_raises(self):
+        n = Netlist("partial", inputs=["DSr", "LDTACK"])
+        n.add(Gate.comb("LDS", "DSr"))
+        with pytest.raises(VerificationError):
+            verify_circuit(n, vme_read())
+
+    def test_traces_are_replayable(self):
+        report = verify_circuit(fig9b(), vme_read())
+        hazard = report.hazards[0]
+        assert hazard.trace[0] == "DSr+"  # every trace starts at reset
+
+
+class TestInternalSettling:
+    def test_stable_internal_values(self):
+        netlist = fig9a()
+        values = {"DSr": 0, "LDTACK": 0, "LDS": 0, "D": 0, "DTACK": 0,
+                  "csc0": 0}
+        settled = stable_internal_values(netlist, values, ["map0"])
+        assert settled == {"map0": 1}  # LDTACK=0 -> map0 = csc0 + LDTACK' = 1
+
+    def test_oscillating_internal_raises(self):
+        n = Netlist("osc", inputs=["a"])
+        n.add(Gate.comb("ring", "~ring"))
+        with pytest.raises(VerificationError):
+            stable_internal_values(n, {"a": 0, "ring": 0}, ["ring"])
+
+    def test_explicit_initial_internal(self):
+        report = verify_circuit(fig9a(), vme_read(),
+                                initial_internal={"map0": 1, "csc0": 0})
+        assert report.ok
+
+    def test_missing_explicit_initial_raises(self):
+        with pytest.raises(VerificationError):
+            verify_circuit(fig9a(), vme_read(), initial_internal={})
+
+
+class TestComposedTS:
+    def test_keep_ts(self):
+        report = verify_circuit(fig8a(), vme_read(), keep_ts=True)
+        assert report.ts is not None
+        assert len(report.ts) == report.states
+
+    def test_latch_controller_roundtrip(self):
+        stg = latch_controller()
+        netlist = synthesize_complex_gates(stg)
+        report = verify_circuit(netlist, stg, keep_ts=True)
+        assert report.ok
+        # the closed system has exactly the 8 specification states
+        assert report.states == 8

@@ -1,0 +1,59 @@
+"""Waveform rendering (Figure 2 regeneration)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.stg import STG, canonical_trace, render_waveforms, vme_read
+
+
+class TestCanonicalTrace:
+    def test_read_cycle_trace_length(self, read_stg):
+        trace = canonical_trace(read_stg)
+        assert len(trace) == 10  # every transition exactly once
+        assert sorted(trace) == sorted(read_stg.net.transitions)
+
+    def test_trace_returns_to_initial(self, read_stg):
+        from repro.petri import fire_sequence
+
+        final = fire_sequence(read_stg.net, read_stg.initial_marking,
+                              canonical_trace(read_stg))
+        assert final == read_stg.initial_marking
+
+    def test_no_cycle_raises(self):
+        stg = STG("acyclic", outputs=["x"])
+        plus = stg.add_event("x+")
+        p = stg.add_place("p", tokens=1)
+        stg.net.add_arc(p, plus)
+        with pytest.raises(ModelError):
+            canonical_trace(stg)
+
+
+class TestRendering:
+    def test_read_cycle_waveform_shape(self, read_stg):
+        text = render_waveforms(read_stg)
+        lines = text.splitlines()
+        # header + one row per signal
+        assert len(lines) == 1 + len(read_stg.signals)
+        for signal in read_stg.signals:
+            assert any(line.strip().startswith(signal) for line in lines)
+
+    def test_waveform_has_edges(self, read_stg):
+        text = render_waveforms(read_stg)
+        assert "/" in text and "\\" in text
+
+    def test_rise_fall_order_per_signal(self, read_stg):
+        """Every signal's first edge is a rise and edges alternate."""
+        text = render_waveforms(read_stg)
+        for line in text.splitlines()[1:]:
+            edges = [c for c in line if c in "/\\"]
+            if not edges:
+                continue
+            assert edges[0] == "/"
+            for a, b in zip(edges, edges[1:]):
+                assert a != b
+
+    def test_explicit_trace(self, read_stg):
+        text = render_waveforms(read_stg, trace=["DSr+", "LDS+"])
+        dsr_row = next(line for line in text.splitlines()
+                       if line.strip().startswith("DSr "))
+        assert "/" in dsr_row and "\\" not in dsr_row
