@@ -1,6 +1,7 @@
 """Petri-net kernel: structure, token game, properties, structural theory,
 reductions (paper Sections 1 and 2.2)."""
 
+from .compiled import CompiledNet, compile_net, supports_compilation
 from .marking import Marking
 from .net import PetriNet, Place, Transition
 from .token_game import (
@@ -59,6 +60,7 @@ from .coverability import (
 from .dot import net_to_dot, reachability_to_dot
 
 __all__ = [
+    "CompiledNet", "compile_net", "supports_compilation",
     "Marking", "PetriNet", "Place", "Transition",
     "can_fire_sequence", "enabled_transitions", "fire", "fire_safe",
     "fire_sequence", "is_enabled", "language_prefixes", "random_walk",

@@ -14,7 +14,7 @@ from typing import Dict, Iterable, Iterator, Mapping, Tuple
 class Marking:
     """An immutable multiset of marked places."""
 
-    __slots__ = ("_tokens", "_key")
+    __slots__ = ("_tokens", "_key", "_hash")
 
     def __init__(self, tokens: Mapping[str, int] = ()):
         cleaned = {p: n for p, n in dict(tokens).items() if n}
@@ -23,6 +23,7 @@ class Marking:
                 raise ValueError("negative token count for place %r" % p)
         self._tokens: Dict[str, int] = cleaned
         self._key: Tuple[Tuple[str, int], ...] = tuple(sorted(cleaned.items()))
+        self._hash = hash(self._key)
 
     @classmethod
     def from_places(cls, places: Iterable[str]) -> "Marking":
@@ -31,6 +32,17 @@ class Marking:
         for p in places:
             tokens[p] = tokens.get(p, 0) + 1
         return cls(tokens)
+
+    @classmethod
+    def _from_sorted_key(cls, key: Tuple[Tuple[str, int], ...]) -> "Marking":
+        """Internal fast path: build a marking from an already-sorted,
+        zero-free ``(place, count)`` tuple without re-validating.  Used by
+        the compiled bitvector engine to decode integer states."""
+        marking = cls.__new__(cls)
+        marking._tokens = dict(key)
+        marking._key = key
+        marking._hash = hash(key)
+        return marking
 
     # ------------------------------------------------------------------ #
 
@@ -81,7 +93,7 @@ class Marking:
         return isinstance(other, Marking) and self._key == other._key
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        return self._hash
 
     def __len__(self) -> int:
         return len(self._key)

@@ -13,7 +13,8 @@ can attach interpretation without subclassing the kernel.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from types import MappingProxyType
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from ..errors import ModelError
 from .marking import Marking
@@ -77,6 +78,21 @@ class PetriNet:
         # reverse maps: place name -> {transition name: weight}
         self._place_out: Dict[str, Dict[str, int]] = {}
         self._place_in: Dict[str, Dict[str, int]] = {}
+        # memoized read-only preset/postset snapshots; dropped (not
+        # mutated) whenever an arc or node changes, so a snapshot handed
+        # out earlier stays stable for its holder.
+        self._preset_cache: Dict[str, Mapping[str, int]] = {}
+        self._postset_cache: Dict[str, Mapping[str, int]] = {}
+        # bumped on every structural change; consumers that preprocess the
+        # net (e.g. the compiled bitvector engine) key their caches on it.
+        self._structure_version = 0
+
+    def _invalidate_adjacency(self) -> None:
+        self._structure_version += 1
+        if self._preset_cache:
+            self._preset_cache = {}
+        if self._postset_cache:
+            self._postset_cache = {}
 
     # ------------------------------------------------------------------ #
     # construction
@@ -86,6 +102,7 @@ class PetriNet:
         """Add a place; raises :class:`ModelError` on duplicate names."""
         if name in self.places or name in self.transitions:
             raise ModelError("duplicate node name %r" % name)
+        self._structure_version += 1
         place = Place(name, tokens)
         self.places[name] = place
         self._place_out[name] = {}
@@ -96,6 +113,7 @@ class PetriNet:
         """Add a transition; raises :class:`ModelError` on duplicate names."""
         if name in self.places or name in self.transitions:
             raise ModelError("duplicate node name %r" % name)
+        self._structure_version += 1
         transition = Transition(name, label)
         self.transitions[name] = transition
         self._pre[name] = {}
@@ -109,6 +127,7 @@ class PetriNet:
         """
         if weight <= 0:
             raise ModelError("arc weight must be positive, got %d" % weight)
+        self._invalidate_adjacency()
         if source in self.places and target in self.transitions:
             self._pre[target][source] = self._pre[target].get(source, 0) + weight
             self._place_out[source][target] = self._pre[target][source]
@@ -125,6 +144,7 @@ class PetriNet:
         """Remove a place and all arcs incident to it."""
         if name not in self.places:
             raise ModelError("unknown place %r" % name)
+        self._invalidate_adjacency()
         for t in list(self._place_out[name]):
             del self._pre[t][name]
         for t in list(self._place_in[name]):
@@ -137,6 +157,7 @@ class PetriNet:
         """Remove a transition and all arcs incident to it."""
         if name not in self.transitions:
             raise ModelError("unknown transition %r" % name)
+        self._invalidate_adjacency()
         for p in list(self._pre[name]):
             del self._place_out[p][name]
         for p in list(self._post[name]):
@@ -149,21 +170,39 @@ class PetriNet:
     # queries
     # ------------------------------------------------------------------ #
 
-    def preset(self, node: str) -> Dict[str, int]:
-        """Input nodes of ``node`` with arc weights (a copy)."""
-        if node in self.transitions:
-            return dict(self._pre[node])
-        if node in self.places:
-            return dict(self._place_in[node])
-        raise ModelError("unknown node %r" % node)
+    def preset(self, node: str) -> Mapping[str, int]:
+        """Input nodes of ``node`` with arc weights (a read-only snapshot).
 
-    def postset(self, node: str) -> Dict[str, int]:
-        """Output nodes of ``node`` with arc weights (a copy)."""
-        if node in self.transitions:
-            return dict(self._post[node])
-        if node in self.places:
-            return dict(self._place_out[node])
-        raise ModelError("unknown node %r" % node)
+        Snapshots are memoized per node and invalidated on any structural
+        change (``add_arc`` / ``remove_place`` / ``remove_transition``), so
+        repeated queries in analysis loops cost a dict lookup.
+        """
+        cached = self._preset_cache.get(node)
+        if cached is None:
+            if node in self.transitions:
+                cached = MappingProxyType(dict(self._pre[node]))
+            elif node in self.places:
+                cached = MappingProxyType(dict(self._place_in[node]))
+            else:
+                raise ModelError("unknown node %r" % node)
+            self._preset_cache[node] = cached
+        return cached
+
+    def postset(self, node: str) -> Mapping[str, int]:
+        """Output nodes of ``node`` with arc weights (a read-only snapshot).
+
+        Memoized like :meth:`preset`.
+        """
+        cached = self._postset_cache.get(node)
+        if cached is None:
+            if node in self.transitions:
+                cached = MappingProxyType(dict(self._post[node]))
+            elif node in self.places:
+                cached = MappingProxyType(dict(self._place_out[node]))
+            else:
+                raise ModelError("unknown node %r" % node)
+            self._postset_cache[node] = cached
+        return cached
 
     def pre(self, transition: str) -> Dict[str, int]:
         """Input places of a transition (internal view, do not mutate)."""

@@ -16,17 +16,29 @@ from .marking import Marking
 from .net import PetriNet
 
 
+def enabled_unchecked(net: PetriNet, marking: Marking,
+                      transition: str) -> bool:
+    """Enabledness test without the transition-membership check.
+
+    Internal fast path for hot loops that already iterate over
+    ``net.transitions`` (so membership is guaranteed); public entry points
+    validate once and then stay on this path.
+    """
+    get = marking.get
+    return all(get(p) >= w for p, w in net.pre(transition).items())
+
+
 def is_enabled(net: PetriNet, marking: Marking, transition: str) -> bool:
     """True iff ``transition`` is enabled in ``marking``."""
     if transition not in net.transitions:
         raise ModelError("unknown transition %r" % transition)
-    return all(marking.get(p) >= w for p, w in net.pre(transition).items())
+    return enabled_unchecked(net, marking, transition)
 
 
 def enabled_transitions(net: PetriNet, marking: Marking) -> List[str]:
     """All transitions enabled in ``marking``, sorted by name."""
     return sorted(
-        t for t in net.transitions if is_enabled(net, marking, t)
+        t for t in net.transitions if enabled_unchecked(net, marking, t)
     )
 
 
@@ -35,12 +47,16 @@ def fire(net: PetriNet, marking: Marking, transition: str,
     """Fire ``transition`` in ``marking`` and return the successor marking.
 
     Raises :class:`ModelError` if the transition is not enabled and ``check``
-    is true.
+    is true.  The unknown-transition check runs once here; the enabling
+    test itself uses the check-free path.
     """
-    if check and not is_enabled(net, marking, transition):
-        raise ModelError(
-            "transition %r not enabled in %r" % (transition, marking)
-        )
+    if check:
+        if transition not in net.transitions:
+            raise ModelError("unknown transition %r" % transition)
+        if not enabled_unchecked(net, marking, transition):
+            raise ModelError(
+                "transition %r not enabled in %r" % (transition, marking)
+            )
     delta = {}
     for p, w in net.pre(transition).items():
         delta[p] = delta.get(p, 0) - w
@@ -61,7 +77,9 @@ def can_fire_sequence(net: PetriNet, marking: Marking,
                       sequence: Sequence[str]) -> bool:
     """True iff the whole sequence is fireable from ``marking``."""
     for t in sequence:
-        if not is_enabled(net, marking, t):
+        if t not in net.transitions:
+            raise ModelError("unknown transition %r" % t)
+        if not enabled_unchecked(net, marking, t):
             return False
         marking = fire(net, marking, t, check=False)
     return True
@@ -98,7 +116,7 @@ def random_walk(net: PetriNet, steps: int, seed: Optional[int] = None,
         if not enabled:
             break
         t = rng.choice(enabled)
-        marking = fire(net, marking, t)
+        marking = fire(net, marking, t, check=False)
         trace.append((t, marking))
     return trace
 

@@ -54,7 +54,7 @@ class SignalEvent:
     dummy event.
     """
 
-    __slots__ = ("signal", "direction", "instance")
+    __slots__ = ("signal", "direction", "instance", "_hash")
 
     def __init__(self, signal: str, direction: str, instance: int = 0):
         if direction not in (RISE, FALL, "~"):
@@ -62,6 +62,9 @@ class SignalEvent:
         self.signal = signal
         self.direction = direction
         self.instance = instance
+        # events are interned in sets/dicts all over the region machinery;
+        # hash once at construction (the object is immutable)
+        self._hash = hash((signal, direction, instance))
 
     @classmethod
     def parse(cls, text: str) -> "SignalEvent":
@@ -101,7 +104,7 @@ class SignalEvent:
                 and self.instance == other.instance)
 
     def __hash__(self) -> int:
-        return hash((self.signal, self.direction, self.instance))
+        return self._hash
 
     def __str__(self):
         suffix = "/%d" % self.instance if self.instance else ""

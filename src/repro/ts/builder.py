@@ -4,13 +4,31 @@ Builds a :class:`~repro.ts.transition_system.TransitionSystem` whose states
 are markings and whose arcs are labelled with transition names.  For safe
 nets a violation of 1-safeness raises
 :class:`~repro.errors.UnboundedError`.
+
+Two engines are provided:
+
+* ``"compiled"`` — the bitvector engine of
+  :mod:`repro.petri.compiled`: markings are machine ints, enabling is two
+  bitwise ops, and the enabled set is maintained incrementally across
+  firings.  Requires an ordinary (weight-1) net and a safe initial
+  marking.
+* ``"naive"`` — the original dict-backed token game; works for any
+  weighted net and, with ``require_safe=False``, for k-bounded ones.
+
+``engine="auto"`` (the default) picks the compiled engine whenever it is
+applicable and falls back to the naive one otherwise.  Both engines
+produce **bit-identical** transition systems: the same states, the same
+arcs in the same insertion order (BFS level order, transitions fired in
+sorted name order per state), so every downstream consumer — state-graph
+codes, regions, CSC, synthesis, verification — is oblivious to the choice.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
-from ..errors import StateExplosionError, UnboundedError
+from ..errors import ModelError, StateExplosionError, UnboundedError
+from ..petri.compiled import compile_net, supports_compilation
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
 from ..petri.token_game import enabled_transitions, fire
@@ -19,19 +37,101 @@ from .transition_system import TransitionSystem
 
 DEFAULT_STATE_BOUND = 1_000_000
 
+ENGINES = ("auto", "compiled", "naive")
+
 
 def build_reachability_graph(model: Union[PetriNet, STG],
                              max_states: int = DEFAULT_STATE_BOUND,
                              require_safe: bool = True,
-                             initial: Optional[Marking] = None) -> TransitionSystem:
+                             initial: Optional[Marking] = None,
+                             engine: str = "auto") -> TransitionSystem:
     """Breadth-first reachability graph of a Petri net or STG.
 
     Arc labels are transition names (for an STG these are the canonical
     event strings such as ``"LDS+"`` or ``"LDS+/2"``).
+
+    ``engine`` selects the exploration engine (``"auto"``, ``"compiled"``
+    or ``"naive"``); see the module docstring.  Requesting the compiled
+    engine for a model outside its domain raises :class:`ModelError`.
     """
     net = model.net if isinstance(model, STG) else model
     if initial is None:
         initial = net.initial_marking
+    if engine == "auto":
+        use_compiled = require_safe and supports_compilation(net, initial)
+    elif engine == "compiled":
+        if not require_safe:
+            raise ModelError(
+                "compiled engine only explores safe state spaces"
+                " (require_safe=False needs engine='naive')")
+        use_compiled = True
+    elif engine == "naive":
+        use_compiled = False
+    else:
+        raise ModelError(
+            "unknown engine %r (expected one of %s)" % (engine, ENGINES))
+    if use_compiled:
+        return _build_compiled(net, initial, max_states)
+    return _build_naive(net, initial, max_states, require_safe)
+
+
+def _build_compiled(net: PetriNet, initial: Marking,
+                    max_states: int) -> TransitionSystem:
+    """Bitvector BFS with incremental enabled-set maintenance."""
+    compiled = compile_net(net, initial)
+    root = compiled.initial
+    pre_masks = compiled.pre_masks
+    post_masks = compiled.post_masks
+    names = compiled.transitions
+    enabled_after = compiled.enabled_after
+
+    # BFS entirely on integer states; arcs recorded as transition indices.
+    arcs_of = {root: []}
+    seen = {root}
+    frontier = [(root, compiled.enabled_mask(root))]
+    while frontier:
+        next_frontier = []
+        for code, enabled in frontier:
+            arcs = arcs_of[code]
+            bits = enabled
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                index = low.bit_length() - 1
+                stripped = code & ~pre_masks[index]
+                post = post_masks[index]
+                conflict = stripped & post
+                if conflict:
+                    raise compiled.unbounded_error(code, index, conflict)
+                succ = stripped | post
+                arcs.append((index, succ))
+                if succ not in seen:
+                    if len(seen) >= max_states:
+                        raise StateExplosionError(
+                            "reachability graph exceeded %d states"
+                            % max_states)
+                    seen.add(succ)
+                    arcs_of[succ] = []
+                    next_frontier.append(
+                        (succ, enabled_after(enabled, index, succ)))
+        frontier = next_frontier
+
+    # Decode once per state and materialise the TransitionSystem in the
+    # exact insertion order the naive engine would have produced:
+    # discovery (BFS) order for states, sorted transition order per state.
+    decode = compiled.decode
+    marking_of = {code: decode(code) for code in arcs_of}
+    adjacency = {
+        marking_of[code]: [(names[index], marking_of[succ])
+                           for index, succ in arcs]
+        for code, arcs in arcs_of.items()
+    }
+    return TransitionSystem.from_adjacency(marking_of[root], adjacency)
+
+
+def _build_naive(net: PetriNet, initial: Marking, max_states: int,
+                 require_safe: bool) -> TransitionSystem:
+    """The original dict-backed token game (any weights, k-bounded nets)."""
     ts = TransitionSystem(initial)
     frontier = [initial]
     seen = {initial}

@@ -43,6 +43,7 @@ class StateGraph:
         self._index = {s: i for i, s in enumerate(self.signal_order)}
         self.codes: Dict[State, Tuple[int, ...]] = {}
         self.initial_values: Dict[str, int] = {}
+        self._enabled_events: Dict[State, List[SignalEvent]] = {}
         self._assign_codes()
 
     # ------------------------------------------------------------------ #
@@ -50,26 +51,41 @@ class StateGraph:
     # ------------------------------------------------------------------ #
 
     def _assign_codes(self) -> None:
+        """Parity propagation on integer bitvectors.
+
+        Parities are packed into a single int per state (bit ``i`` is the
+        switching parity of ``signal_order[i]``), the same bitvector trick
+        the compiled reachability engine uses for markings, so propagating
+        an event is one XOR instead of tuple surgery.  The public
+        ``codes`` mapping still holds per-signal tuples.
+        """
         n = len(self.signal_order)
-        parity: Dict[State, Tuple[int, ...]] = {
-            self.ts.initial: tuple([0] * n)
-        }
+        # event metadata per transition name, resolved once
+        event_bit: Dict[str, Tuple[SignalEvent, int, bool]] = {}
+        for tname in self.ts.events:
+            event = self.stg.event_of(tname)
+            if event.is_dummy:
+                event_bit[tname] = (event, -1, False)
+            else:
+                event_bit[tname] = (event, self._index[event.signal],
+                                    event.is_rising)
+        parity: Dict[State, int] = {self.ts.initial: 0}
         init: Dict[str, Tuple[int, str]] = {}  # signal -> (value, witness)
         stack = [self.ts.initial]
         while stack:
             state = stack.pop()
             p = parity[state]
             for tname, succ in self.ts.successors(state):
-                event = self.stg.event_of(tname)
-                if event.is_dummy:
+                event, idx, rising = event_bit[tname]
+                if idx < 0:
                     q = p
                 else:
-                    idx = self._index[event.signal]
-                    q = p[:idx] + (1 - p[idx],) + p[idx + 1:]
+                    bit = (p >> idx) & 1
+                    q = p ^ (1 << idx)
                     # the source value of the signal is fixed by direction:
                     # a+ requires value 0 before, so init = parity (since
                     # value = init XOR parity); a- requires value 1 before.
-                    required = p[idx] if event.is_rising else 1 - p[idx]
+                    required = bit if rising else 1 - bit
                     prev = init.get(event.signal)
                     if prev is None:
                         init[event.signal] = (required, tname)
@@ -79,8 +95,9 @@ class StateGraph:
                             " initial values — rising/falling edges do not"
                             " alternate" % (event.signal, prev[1], tname)
                         )
-                if succ in parity:
-                    if parity[succ] != q:
+                known = parity.get(succ)
+                if known is not None:
+                    if known != q:
                         raise ConsistencyError(
                             "state %r reached with different switching"
                             " parities — inconsistent STG" % (succ,)
@@ -92,8 +109,16 @@ class StateGraph:
             s: init.get(s, (0, ""))[0] for s in self.signal_order
         }
         init_vec = tuple(self.initial_values[s] for s in self.signal_order)
+        # decode packed parities back to per-signal tuples; memoized by
+        # parity word since distinct states share few distinct parities
+        decoded: Dict[int, Tuple[int, ...]] = {}
         for state, p in parity.items():
-            self.codes[state] = tuple(iv ^ bit for iv, bit in zip(init_vec, p))
+            code = decoded.get(p)
+            if code is None:
+                code = tuple(iv ^ ((p >> i) & 1)
+                             for i, iv in enumerate(init_vec))
+                decoded[p] = code
+            self.codes[state] = code
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -119,11 +144,16 @@ class StateGraph:
         return self.codes[state][self._index[signal]]
 
     def enabled_events(self, state: State) -> List[SignalEvent]:
-        """Signal events labelling outgoing arcs of a state."""
-        return sorted(
-            {self.stg.event_of(t) for t in self.ts.enabled(state)},
-            key=lambda e: e.sort_key(),
-        )
+        """Signal events labelling outgoing arcs of a state (memoized —
+        the region queries below scan these per signal)."""
+        cached = self._enabled_events.get(state)
+        if cached is None:
+            cached = sorted(
+                {self.stg.event_of(t) for t in self.ts.enabled(state)},
+                key=lambda e: e.sort_key(),
+            )
+            self._enabled_events[state] = cached
+        return cached
 
     def enabled_signals(self, state: State,
                         noninput_only: bool = False) -> Set[Tuple[str, str]]:
@@ -212,14 +242,16 @@ class StateGraph:
 def build_state_graph(stg: STG,
                       max_states: int = DEFAULT_STATE_BOUND,
                       signal_order: Optional[Sequence[str]] = None,
-                      require_safe: bool = True) -> StateGraph:
+                      require_safe: bool = True,
+                      engine: str = "auto") -> StateGraph:
     """Build the binary-coded state graph of an STG.
 
     Raises :class:`~repro.errors.UnboundedError` for non-safe STGs
     (pass ``require_safe=False`` for k-bounded nets, e.g. after dummy
     contraction) and :class:`~repro.errors.ConsistencyError` for
-    inconsistent ones.
+    inconsistent ones.  ``engine`` selects the reachability engine (see
+    :func:`~repro.ts.builder.build_reachability_graph`).
     """
     ts = build_reachability_graph(stg, max_states=max_states,
-                                  require_safe=require_safe)
+                                  require_safe=require_safe, engine=engine)
     return StateGraph(stg, ts, signal_order=signal_order)

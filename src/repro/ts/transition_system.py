@@ -43,6 +43,36 @@ class TransitionSystem:
         self._pred[target].append((event, source))
         self.events.add(event)
 
+    @classmethod
+    def from_adjacency(cls, initial: State,
+                       adjacency: Dict[State, List[Tuple[Event, State]]]
+                       ) -> "TransitionSystem":
+        """Bulk constructor from a complete adjacency map.
+
+        States are inserted in the mapping's iteration order (``initial``
+        first); arcs keep their per-state list order.  This is the fast
+        path used by the compiled reachability engine — equivalent to
+        calling :meth:`add_arc` per arc, minus the per-arc bookkeeping.
+        """
+        ts = cls(initial)
+        succ = ts._succ
+        pred = ts._pred
+        events = ts.events
+        for state in adjacency:
+            if state not in succ:
+                succ[state] = []
+                pred[state] = []
+        for state, arcs in adjacency.items():
+            out = succ[state]
+            for event, target in arcs:
+                if target not in succ:
+                    succ[target] = []
+                    pred[target] = []
+                out.append((event, target))
+                pred[target].append((event, state))
+                events.add(event)
+        return ts
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #

@@ -29,8 +29,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import StateExplosionError, VerificationError
+from ..petri.compiled import compile_net, supports_compilation
 from ..petri.marking import Marking
-from ..petri.token_game import fire, is_enabled
+from ..petri.token_game import enabled_unchecked, fire
 from ..stg.signals import FALL, RISE, SignalEvent
 from ..stg.stg import STG
 from ..synth.netlist import Netlist
@@ -198,23 +199,62 @@ def verify_circuit(netlist: Netlist, spec: STG,
     def env(state: CompositionState) -> Dict[str, int]:
         return {s: state[1][i] for s, i in index.items()}
 
+    # spec-net move tables, resolved once instead of per composed state:
+    # input transitions (net insertion order) and, per (signal, direction),
+    # the matching spec transitions for gate firings.
+    spec_net = spec.net
+    spec_events = [(t, spec.event_of(t)) for t in spec_net.transitions]
+    input_moves = [
+        (t, ev.signal, 1 if ev.is_rising else 0,
+         str(ev.base()[0] + ev.base()[1]))
+        for t, ev in spec_events
+        if not ev.is_dummy and not spec.type_of(ev.signal).is_noninput
+    ]
+    match_table: Dict[Tuple[str, str], List[str]] = {}
+    for t, ev in spec_events:
+        if not ev.is_dummy:
+            match_table.setdefault(ev.base(), []).append(t)
+    # the compiled bitvector engine answers enabled/fire queries in a few
+    # int ops; fall back to the dict token game outside its domain.
+    compiled = compile_net(spec_net) \
+        if supports_compilation(spec_net, spec.initial_marking) else None
+
     def moves(state: CompositionState):
         """Yield (event_str, successor or None-for-failure, is_gate)."""
         marking, values = state
         valuemap = env(state)
         result = []
+        if compiled is not None:
+            code = compiled.encode(marking)
+            t_bit = compiled.transition_bit
+            pre_masks = compiled.pre_masks
+
+            def t_enabled(t):
+                pre = pre_masks[t_bit[t]]
+                return code & pre == pre
+
+            def t_fire(t):
+                index = t_bit[t]
+                succ, conflict = compiled.fire_index(code, index)
+                if conflict:
+                    # cannot happen for a spec whose state graph was built
+                    # with require_safe=True (every composition marking is
+                    # spec-reachable); fail loudly rather than truncate
+                    raise compiled.unbounded_error(code, index, conflict)
+                return compiled.decode(succ)
+        else:
+            def t_enabled(t):
+                return enabled_unchecked(spec_net, marking, t)
+
+            def t_fire(t):
+                return fire(spec_net, marking, t, check=False)
         # environment moves: enabled input transitions of the spec
-        for t in spec.net.transitions:
-            event = spec.event_of(t)
-            if spec.type_of(event.signal).is_noninput or event.is_dummy:
+        for t, signal, value, event_str in input_moves:
+            if not t_enabled(t):
                 continue
-            if not is_enabled(spec.net, marking, t):
-                continue
-            new_marking = fire(spec.net, marking, t, check=False)
             new_values = list(values)
-            new_values[index[event.signal]] = 1 if event.is_rising else 0
-            result.append((str(event.base()[0] + event.base()[1]),
-                           (new_marking, tuple(new_values)), t))
+            new_values[index[signal]] = value
+            result.append((event_str, (t_fire(t), tuple(new_values)), t))
         # gate moves
         for signal in sorted(netlist.gates):
             gate = netlist.gates[signal]
@@ -228,17 +268,15 @@ def verify_circuit(netlist: Netlist, spec: STG,
             if signal in spec_signals:
                 # must be matched by an enabled spec transition
                 matches = [
-                    t for t in spec.net.transitions
-                    if spec.event_of(t).base() == (signal, direction)
-                    and is_enabled(spec.net, marking, t)
+                    t for t in match_table.get((signal, direction), ())
+                    if t_enabled(t)
                 ]
                 if not matches:
                     result.append((event_str, None, None))
                     continue
                 for t in matches:
-                    new_marking = fire(spec.net, marking, t, check=False)
                     result.append((event_str,
-                                   (new_marking, tuple(new_values)), t))
+                                   (t_fire(t), tuple(new_values)), t))
             else:
                 result.append((event_str, (marking, tuple(new_values)), None))
         # apply relative-timing priorities

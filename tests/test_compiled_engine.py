@@ -1,0 +1,333 @@
+"""Parity of the compiled bitvector reachability engine with the naive
+token game: identical transition systems on the whole STG library,
+step-by-step firing agreement on random walks, and identical error
+behaviour at the 1-safeness and state-count bounds."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import ModelError, StateExplosionError, UnboundedError
+from repro.petri import (
+    CompiledNet,
+    PetriNet,
+    compile_net,
+    enabled_transitions,
+    fire,
+    supports_compilation,
+)
+from repro.stg import (
+    concurrent_latch_controller,
+    handshake_arbiter_free_choice,
+    latch_controller,
+    muller_pipeline,
+    mutex_controller,
+    parallel_handshakes,
+    pipeline_ring,
+    sequencer,
+    vme_read,
+    vme_read_csc,
+    vme_read_write,
+)
+from repro.ts import build_reachability_graph, build_state_graph
+from repro.ts.state_graph import StateGraph
+
+LIBRARY = {
+    "vme_read": vme_read,
+    "vme_read_write": vme_read_write,
+    "vme_read_csc": vme_read_csc,
+    "latch_controller": latch_controller,
+    "concurrent_latch_controller": concurrent_latch_controller,
+    "handshake_arbiter_free_choice": handshake_arbiter_free_choice,
+    "parallel_handshakes_3": lambda: parallel_handshakes(3),
+    "pipeline_ring_6": lambda: pipeline_ring(6),
+    "sequencer_4": lambda: sequencer(4),
+    "muller_pipeline_5": lambda: muller_pipeline(5),
+    "mutex_controller": mutex_controller,
+}
+
+
+# --------------------------------------------------------------------- #
+# bit-identical transition systems
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("name", sorted(LIBRARY))
+def test_engines_produce_identical_transition_systems(name):
+    stg = LIBRARY[name]()
+    naive = build_reachability_graph(stg, engine="naive")
+    compiled = build_reachability_graph(stg, engine="compiled")
+    assert naive.initial == compiled.initial
+    # same states in the same insertion order
+    assert naive.states == compiled.states
+    # same arcs in the same order, globally and per state
+    assert list(naive.arcs()) == list(compiled.arcs())
+    for state in naive.states:
+        assert naive.successors(state) == compiled.successors(state)
+        assert naive.predecessors(state) == compiled.predecessors(state)
+    assert naive.events == compiled.events
+
+
+@pytest.mark.parametrize("name", ["vme_read", "vme_read_csc",
+                                  "muller_pipeline_5"])
+def test_engines_produce_identical_state_graph_codes(name):
+    stg = LIBRARY[name]()
+    sg_naive = StateGraph(stg, build_reachability_graph(stg, engine="naive"))
+    sg_comp = StateGraph(stg,
+                         build_reachability_graph(stg, engine="compiled"))
+    assert sg_naive.initial_values == sg_comp.initial_values
+    assert sg_naive.codes == sg_comp.codes
+
+
+def test_auto_engine_matches_explicit_compiled():
+    stg = muller_pipeline(4)
+    auto = build_reachability_graph(stg)
+    compiled = build_reachability_graph(stg, engine="compiled")
+    assert list(auto.arcs()) == list(compiled.arcs())
+
+
+# --------------------------------------------------------------------- #
+# firing-level cross-check (property-based random walks)
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(name=st.sampled_from(sorted(LIBRARY)),
+       choices=st.lists(st.integers(0, 10 ** 6), min_size=1, max_size=40))
+def test_random_walk_cross_check(name, choices):
+    """Walk the token game twice — naive markings and compiled integer
+    states — making the same choices; enabled sets and markings must
+    agree after every step."""
+    net = LIBRARY[name]().net
+    compiled = CompiledNet(net)
+    marking = net.initial_marking
+    code = compiled.encode(marking)
+    for choice in choices:
+        naive_enabled = enabled_transitions(net, marking)
+        assert compiled.enabled_transitions(code) == naive_enabled
+        if not naive_enabled:
+            break
+        t = naive_enabled[choice % len(naive_enabled)]
+        marking = fire(net, marking, t)
+        code = compiled.fire(code, t)
+        assert compiled.decode(code) == marking
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(name=st.sampled_from(sorted(LIBRARY)),
+       choices=st.lists(st.integers(0, 10 ** 6), min_size=1, max_size=30))
+def test_incremental_enabled_set_matches_full_scan(name, choices):
+    """The incremental enabled-set update (recheck only transitions
+    adjacent to the fired one) must agree with a from-scratch scan."""
+    net = LIBRARY[name]().net
+    compiled = CompiledNet(net)
+    code = compiled.initial
+    enabled = compiled.enabled_mask(code)
+    for choice in choices:
+        if not enabled:
+            break
+        bits = [i for i in range(len(compiled.transitions))
+                if (enabled >> i) & 1]
+        index = bits[choice % len(bits)]
+        successor, conflict = compiled.fire_index(code, index)
+        assert not conflict
+        # conflict-free firing is a pure xor with the transition's delta
+        assert successor == code ^ compiled.deltas[index]
+        code = successor
+        enabled = compiled.enabled_after(enabled, index, code)
+        assert enabled == compiled.enabled_mask(code)
+
+
+# --------------------------------------------------------------------- #
+# error parity at the exploration bounds
+# --------------------------------------------------------------------- #
+
+def unsafe_net():
+    """p0 -> t0 -> p1 with p1 already marked: firing t0 puts a second
+    token on p1."""
+    net = PetriNet("unsafe")
+    net.add_place("p0", tokens=1)
+    net.add_place("p1", tokens=1)
+    net.add_transition("t0")
+    net.add_arc("p0", "t0")
+    net.add_arc("t0", "p1")
+    return net
+
+
+def test_unbounded_error_parity():
+    net = unsafe_net()
+    assert supports_compilation(net)
+    errors = {}
+    for engine in ("naive", "compiled"):
+        with pytest.raises(UnboundedError) as exc:
+            build_reachability_graph(net, engine=engine)
+        errors[engine] = str(exc.value)
+    assert errors["naive"] == errors["compiled"]
+    assert "violates 1-safeness" in errors["naive"]
+
+
+@pytest.mark.parametrize("max_states", [1, 7, 31])
+def test_state_explosion_parity(max_states):
+    stg = muller_pipeline(4)  # 32 states
+    errors = {}
+    for engine in ("naive", "compiled"):
+        with pytest.raises(StateExplosionError) as exc:
+            build_reachability_graph(stg, max_states=max_states,
+                                     engine=engine)
+        errors[engine] = str(exc.value)
+    assert errors["naive"] == errors["compiled"]
+
+
+def test_max_states_exactly_sufficient_on_both_engines():
+    stg = muller_pipeline(4)
+    for engine in ("naive", "compiled"):
+        ts = build_reachability_graph(stg, max_states=32, engine=engine)
+        assert len(ts) == 32
+
+
+def test_compiled_fire_raises_like_the_naive_game():
+    net = unsafe_net()
+    compiled = CompiledNet(net)
+    with pytest.raises(ModelError):
+        compiled.fire(0, "t0")  # not enabled in the empty marking
+    with pytest.raises(ModelError):
+        compiled.fire(compiled.initial, "nonexistent")
+    with pytest.raises(UnboundedError):
+        compiled.fire(compiled.initial, "t0")
+
+
+# --------------------------------------------------------------------- #
+# engine selection and domain gating
+# --------------------------------------------------------------------- #
+
+def weighted_net():
+    net = PetriNet("weighted")
+    net.add_place("p0", tokens=1)
+    net.add_place("p1")
+    net.add_transition("t0")
+    net.add_arc("p0", "t0", weight=2)
+    net.add_arc("t0", "p1")
+    return net
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ModelError):
+        build_reachability_graph(muller_pipeline(2), engine="quantum")
+
+
+def test_compiled_engine_requires_safe_semantics():
+    with pytest.raises(ModelError):
+        build_reachability_graph(muller_pipeline(2), engine="compiled",
+                                 require_safe=False)
+
+
+def test_weighted_net_falls_back_to_naive():
+    net = weighted_net()
+    assert not supports_compilation(net)
+    ts = build_reachability_graph(net)  # auto -> naive: t0 never enabled
+    assert len(ts) == 1 and ts.arc_count() == 0
+    with pytest.raises(ModelError):
+        build_reachability_graph(net, engine="compiled")
+
+
+def test_safe_override_on_net_with_unsafe_stored_marking():
+    """An explicit safe ``initial`` must reach the compiled engine even
+    when the marking stored on the net is unsafe."""
+    from repro.petri import Marking
+
+    net = PetriNet("override")
+    net.add_place("p0", tokens=2)
+    net.add_place("p1")
+    net.add_transition("t0")
+    net.add_arc("p0", "t0")
+    net.add_arc("t0", "p1")
+    override = Marking({"p0": 1})
+    assert supports_compilation(net, override)
+    compiled = build_reachability_graph(net, initial=override,
+                                        engine="compiled")
+    naive = build_reachability_graph(net, initial=override, engine="naive")
+    assert len(compiled) == len(naive) == 2
+    assert list(compiled.arcs()) == list(naive.arcs())
+
+
+def test_clear_state_pools_releases_interned_markings():
+    net = muller_pipeline(3).net
+    compiled = compile_net(net)
+    build_reachability_graph(net, engine="compiled")
+    assert compiled._marking_of
+    compiled.clear_state_pools()
+    assert not compiled._marking_of and not compiled._code_of
+    # still fully functional afterwards
+    ts = build_reachability_graph(net, engine="compiled")
+    assert len(ts) == 16
+
+
+def test_unsafe_initial_marking_falls_back_to_naive():
+    net = PetriNet("two_tokens")
+    net.add_place("p0", tokens=2)
+    net.add_transition("t0")
+    net.add_arc("p0", "t0")
+    assert not supports_compilation(net)
+    # naive multiset semantics: p0 goes 2 -> 1 -> 0
+    ts = build_reachability_graph(net)
+    assert len(ts) == 3
+    with pytest.raises(ModelError):
+        build_reachability_graph(net, engine="compiled")
+
+
+# --------------------------------------------------------------------- #
+# compilation caching and supporting caches
+# --------------------------------------------------------------------- #
+
+def test_compile_net_is_cached_until_structure_changes():
+    net = muller_pipeline(3).net
+    first = compile_net(net)
+    assert compile_net(net) is first
+    net.add_place("extra")
+    second = compile_net(net)
+    assert second is not first
+    assert "extra" in second.place_bit
+
+
+def test_compile_net_rerooting_does_not_leak_into_cache():
+    from repro.petri import Marking
+
+    net = PetriNet("chain")
+    net.add_place("p0", tokens=1)
+    net.add_place("p1")
+    net.add_transition("t0")
+    net.add_arc("p0", "t0")
+    net.add_arc("t0", "p1")
+    rerooted = compile_net(net, Marking({"p1": 1}))
+    assert rerooted.initial == rerooted.encode(Marking({"p1": 1}))
+    # a later compile without an explicit initial gets the net's own
+    # marking back, not the previous caller's re-root
+    fresh = compile_net(net)
+    assert fresh is rerooted
+    assert fresh.initial == fresh.encode(net.initial_marking)
+
+
+def test_state_graph_helper_uses_selected_engine():
+    stg = muller_pipeline(3)
+    sg = build_state_graph(stg)
+    sg_naive = build_state_graph(stg, engine="naive")
+    assert sg.codes == sg_naive.codes
+    assert sg.initial_values == sg_naive.initial_values
+
+
+def test_preset_postset_memoized_and_invalidated():
+    net = PetriNet("memo")
+    net.add_place("p", tokens=1)
+    net.add_transition("t")
+    net.add_arc("p", "t")
+    snap = net.postset("p")
+    assert snap == {"t": 1}
+    assert net.postset("p") is snap  # memoized
+    with pytest.raises(TypeError):
+        snap["u"] = 2  # read-only snapshot
+    net.add_transition("u")
+    net.add_arc("p", "u")
+    assert net.postset("p") == {"t": 1, "u": 1}
+    assert snap == {"t": 1}  # old snapshot unchanged
+    net.remove_transition("t")
+    assert net.postset("p") == {"u": 1}
+    assert net.preset("u") == {"p": 1}
