@@ -19,6 +19,9 @@ The library covers the whole flow of the paper:
   persistency) and stubborn-set reduction (Section 2);
 * :mod:`repro.bdd` — ROBDD engine and symbolic traversal with naive and
   dense (SM-component) encodings (Section 2.2);
+* :mod:`repro.sat` — CDCL SAT solver, net-to-CNF encodings, bounded model
+  checking and k-induction for reachability/deadlock/CSC queries without
+  state-graph construction (Section 2.2's state-explosion escape hatch);
 * :mod:`repro.unfold` — McMillan complete prefixes and ordering relations
   (Section 2.2);
 * :mod:`repro.boolmin` — cube algebra and Quine–McCluskey/Petrick exact
@@ -48,7 +51,7 @@ Quick start::
     assert report.ok
 """
 
-from . import analysis, bdd, boolmin, burstmode, petri, procalg, regions, stg, synth, tech, timing, ts, unfold, verify
+from . import analysis, bdd, boolmin, burstmode, petri, procalg, regions, sat, stg, synth, tech, timing, ts, unfold, verify
 from .errors import (
     CSCError,
     ConsistencyError,
@@ -65,7 +68,7 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "analysis", "bdd", "boolmin", "burstmode", "petri", "procalg", "regions", "stg", "synth",
+    "analysis", "bdd", "boolmin", "burstmode", "petri", "procalg", "regions", "sat", "stg", "synth",
     "tech", "timing", "ts", "unfold", "verify",
     "CSCError", "ConsistencyError", "ModelError", "ParseError",
     "PersistencyError", "ReproError", "StateExplosionError",

@@ -14,7 +14,10 @@ An STG is implementable as a speed-independent circuit iff:
   (Section 1.5).
 
 This module computes all of these on the explicit state graph and returns
-a structured report.
+a structured report.  For nets whose state graph is too large to build,
+:func:`find_csc_conflict_sat` answers the CSC question alone through the
+bounded-model-checking path of :mod:`repro.sat` — a query, not an
+enumeration.
 """
 
 from __future__ import annotations
@@ -199,12 +202,33 @@ def persistency_violations(sg: StateGraph) -> List[PersistencyViolation]:
     return result
 
 
+def find_csc_conflict_sat(stg: STG, bound: int = 30):
+    """Search for a CSC conflict without building the state graph.
+
+    Delegates to :func:`repro.sat.queries.csc_conflict`: two bounded
+    unrollings of the token game, same binary code (equal signal
+    parities), different non-input excitation.  Returns the
+    :class:`repro.sat.queries.SatCSCConflict` witness (with replayed
+    traces to both states) or None if no conflict exists within the
+    bound.  Complements :func:`csc_conflicts`, which needs the full
+    :class:`~repro.ts.state_graph.StateGraph`.
+    """
+    from ..sat.queries import csc_conflict as _csc_conflict
+
+    return _csc_conflict(stg, bound=bound)
+
+
 def check_implementability(stg: STG,
-                           max_states: int = 1_000_000) -> ImplementabilityReport:
-    """Run the full battery of Section 2.1 checks and return a report."""
+                           max_states: int = 1_000_000,
+                           engine: str = "auto") -> ImplementabilityReport:
+    """Run the full battery of Section 2.1 checks and return a report.
+
+    ``engine`` selects the reachability engine used to build the state
+    graph (see :func:`repro.ts.builder.build_reachability_graph`).
+    """
     report = ImplementabilityReport(stg_name=stg.name)
     try:
-        sg = build_state_graph(stg, max_states=max_states)
+        sg = build_state_graph(stg, max_states=max_states, engine=engine)
     except UnboundedError as exc:
         report.bounded = False
         report.consistency_error = str(exc)

@@ -198,6 +198,142 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _sat_check_cnf(stg, prop: str, bound: int, target=None, cover=False):
+    """The CNF whose satisfiability answers a ``sat-check`` query.
+
+    Used by ``--dimacs``: the dumped formula is satisfiable iff the
+    query's bounded counterexample exists, so any external DIMACS solver
+    reproduces the verdict printed by the command.  (Under
+    ``--induction`` the dump covers the BMC base case only — a ``Proved``
+    or ``Unknown`` verdict additionally depends on the inductive-step
+    unrolling, which is flagged in the DIMACS comment header.)
+    """
+    from .sat import CNF, STGEncoding
+    from .sat.queries import csc_pair_lits
+
+    if prop == "csc":
+        cnf = CNF()
+        enc_a = STGEncoding(stg, cnf=cnf, prefix="A.")
+        enc_b = STGEncoding(stg, cnf=cnf, prefix="B.")
+        enc_a.ensure_steps(bound)
+        enc_b.ensure_steps(bound)
+        equal, different = csc_pair_lits(stg, cnf, enc_a, enc_b, bound)
+        for lit in equal:
+            cnf.add_clause(lit)
+        cnf.add_clause(different)
+        return cnf
+    if prop == "consistency":
+        encoding = STGEncoding(stg, track_consistency=True)
+        encoding.ensure_steps(bound)
+        encoding.cnf.add_clause(
+            *[encoding.violation_lit(i) for i in range(bound)])
+        return encoding.cnf
+    encoding = STGEncoding(stg)
+    encoding.ensure_steps(bound)
+    if prop == "deadlock":
+        encoding.cnf.add_clause(encoding.deadlock_lit(bound))
+    else:  # reach
+        for lit in encoding.marking_lits(bound, target, partial=cover):
+            encoding.cnf.add_clause(lit)
+    return encoding.cnf
+
+
+def cmd_sat_check(args) -> int:
+    """SAT-based bounded model checking / k-induction (no state graph)."""
+    from .petri import Marking, find_deadlocks
+    from .sat import (
+        consistency_violation,
+        csc_conflict,
+        find_deadlock,
+        prove_deadlock_free,
+        reach_marking,
+    )
+    from .sat.kinduction import Proved, Refuted
+
+    stg = _load(args.spec)
+
+    if args.induction and args.property != "deadlock":
+        # only the deadlock query has a k-induction proof path; silently
+        # running plain BMC would dress a bounded miss up as a proof
+        print("error: --induction is only supported for"
+              " --property deadlock", file=sys.stderr)
+        return 2
+
+    target = None
+    if args.property == "reach":
+        if not args.target:
+            print("error: --property reach requires --target", file=sys.stderr)
+            return 2
+        target = Marking({p: 1 for p in args.target.split()})
+
+    if args.dimacs:
+        cnf = _sat_check_cnf(stg, args.property, args.bound,
+                             target=target, cover=args.cover)
+        comments = ["repro sat-check %s --property %s --bound %d"
+                    % (stg.name, args.property, args.bound)]
+        if args.induction:
+            # the dump covers the bounded (base-case) query only; the
+            # inductive step lives in a second, unanchored unrolling
+            comments.append("bounded counterexample query only —"
+                            " induction step not included")
+        with open(args.dimacs, "w") as f:
+            f.write(cnf.to_dimacs(comments=comments))
+        print("# wrote %s (%d vars, %d clauses%s)"
+              % (args.dimacs, cnf.num_vars, len(cnf.clauses),
+                 ", base case only" if args.induction else ""))
+
+    if args.property == "deadlock":
+        if args.induction:
+            verdict = prove_deadlock_free(stg, max_k=args.bound)
+            if isinstance(verdict, Proved):
+                print("deadlock-free: proved by %d-induction" % verdict.k)
+                return 0
+            if isinstance(verdict, Refuted):
+                w = verdict.witness
+                print("deadlock reachable: %s" % " ".join(w.transitions))
+                print("dead marking: %r" % find_deadlocks(
+                    stg.net, markings=[w.final_marking])[0])
+                return 1
+            print("unknown at k=%d (raise --bound)" % verdict.k)
+            return 1
+        witness = find_deadlock(stg, bound=args.bound)
+        if witness is None:
+            print("no deadlock within %d steps" % args.bound)
+            return 0
+        print("deadlock reachable: %s" % " ".join(witness.transitions))
+        print("dead marking: %r" % find_deadlocks(
+            stg.net, markings=[witness.final_marking])[0])
+        return 1
+
+    if args.property == "reach":
+        witness = reach_marking(stg, target, bound=args.bound,
+                                partial=args.cover)
+        if witness is None:
+            print("target not reachable within %d steps" % args.bound)
+            return 0
+        print("reached %r via: %s"
+              % (witness.final_marking, " ".join(witness.transitions)))
+        return 1
+
+    if args.property == "csc":
+        conflict = csc_conflict(stg, bound=args.bound)
+        if conflict is None:
+            print("no CSC conflict within %d steps" % args.bound)
+            return 0
+        print(conflict)
+        print("trace a: %s" % " ".join(conflict.trace_a.transitions))
+        print("trace b: %s" % " ".join(conflict.trace_b.transitions))
+        return 1
+
+    # consistency
+    witness = consistency_violation(stg, bound=args.bound)
+    if witness is None:
+        print("no consistency violation within %d steps" % args.bound)
+        return 0
+    print("consistency violation: %s" % " ".join(witness.transitions))
+    return 1
+
+
 def cmd_examples(args) -> int:
     """List the bundled example specifications."""
     for name in sorted(ALL_EXAMPLES):
@@ -285,6 +421,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("sat-check", help="SAT-based bounded model checking"
+                                         " / k-induction (no state graph)")
+    p.add_argument("spec")
+    p.add_argument("--property", choices=["deadlock", "reach", "csc",
+                                          "consistency"],
+                   default="deadlock")
+    p.add_argument("--bound", type=int, default=20,
+                   help="BMC unrolling depth / max induction k")
+    p.add_argument("--induction", action="store_true",
+                   help="deadlock: prove freedom by k-induction instead of"
+                        " a bounded search")
+    p.add_argument("--target",
+                   help="reach: space-separated marked places")
+    p.add_argument("--cover", action="store_true",
+                   help="reach: cover query (only marked places"
+                        " constrained)")
+    p.add_argument("--dimacs", metavar="FILE",
+                   help="dump the unrolled CNF in DIMACS format")
+    p.set_defaults(func=cmd_sat_check)
 
     p = sub.add_parser("examples", help="list bundled specifications")
     p.set_defaults(func=cmd_examples)

@@ -58,6 +58,7 @@ from .coverability import (
     is_bounded_km,
 )
 from .dot import net_to_dot, reachability_to_dot
+from .library import dining_philosophers
 
 __all__ = [
     "CompiledNet", "compile_net", "supports_compilation",
@@ -76,4 +77,5 @@ __all__ = [
     "OMEGA", "CoverabilityGraph", "OmegaMarking",
     "build_coverability_graph", "is_bounded_km",
     "net_to_dot", "reachability_to_dot",
+    "dining_philosophers",
 ]

@@ -1,0 +1,47 @@
+"""Net-level example workloads (plain Petri nets, no signal labels).
+
+Companion of :mod:`repro.stg.library`, which holds the STG-level
+specifications: the models here exercise net-only machinery (deadlock
+search, reachability queries, coverability) and are shared by the
+benchmark suite and the example scripts so the topologies cannot drift
+apart.
+"""
+
+from __future__ import annotations
+
+from .net import PetriNet
+
+
+def dining_philosophers(n: int) -> PetriNet:
+    """The classic deadlock workload: ``n`` philosophers, ``n`` forks.
+
+    Each philosopher thinks, takes the left fork, takes the right fork,
+    eats, then releases both.  The "everyone took the left fork" marking
+    — reached after ``n`` firings, or a single ∅-conflict parallel step
+    of the SAT engine — is the unique reachable deadlock, buried in a
+    state space that grows exponentially with ``n``.
+    """
+    if n < 2:
+        raise ValueError("need at least two philosophers")
+    net = PetriNet("philosophers_%d" % n)
+    for i in range(n):
+        net.add_place("fork%d" % i, 1)
+        net.add_place("thinking%d" % i, 1)
+        net.add_place("left%d" % i)
+        net.add_place("eating%d" % i)
+    for i in range(n):
+        right = (i + 1) % n
+        net.add_transition("take_left%d" % i)
+        net.add_arc("thinking%d" % i, "take_left%d" % i)
+        net.add_arc("fork%d" % i, "take_left%d" % i)
+        net.add_arc("take_left%d" % i, "left%d" % i)
+        net.add_transition("take_right%d" % i)
+        net.add_arc("left%d" % i, "take_right%d" % i)
+        net.add_arc("fork%d" % right, "take_right%d" % i)
+        net.add_arc("take_right%d" % i, "eating%d" % i)
+        net.add_transition("release%d" % i)
+        net.add_arc("eating%d" % i, "release%d" % i)
+        net.add_arc("release%d" % i, "thinking%d" % i)
+        net.add_arc("release%d" % i, "fork%d" % i)
+        net.add_arc("release%d" % i, "fork%d" % right)
+    return net

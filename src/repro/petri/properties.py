@@ -16,7 +16,7 @@ the Karp–Miller style covering test during exploration.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import StateExplosionError
 from .marking import Marking
@@ -34,9 +34,7 @@ def explore(net: PetriNet, max_states: int = DEFAULT_STATE_BOUND,
     reachable markings.  If ``detect_unbounded`` is set, the Karp–Miller
     covering test is applied along each exploration path: reaching a marking
     that strictly covers an ancestor proves unboundedness and raises
-    :class:`~repro.errors.StateExplosionError` would be wrong — we raise
-    ``UnboundedError`` from the caller-facing helpers instead; here the
-    offending pair is reported via the exception message.
+    :class:`~repro.errors.UnboundedError` naming the offending pair.
 
     Raises :class:`StateExplosionError` when ``max_states`` is exceeded.
     """
@@ -118,13 +116,25 @@ def unsafe_witness(net: PetriNet,
 
 
 def find_deadlocks(net: PetriNet,
-                   max_states: int = DEFAULT_STATE_BOUND) -> List[Marking]:
-    """All reachable dead markings (no transition enabled)."""
-    graph = explore(net, max_states)
-    return sorted(
-        (m for m, succs in graph.items() if not succs),
-        key=lambda m: repr(m),
-    )
+                   max_states: int = DEFAULT_STATE_BOUND,
+                   markings: Optional[Iterable[Marking]] = None
+                   ) -> List[Marking]:
+    """All dead markings (no transition enabled), in one report format.
+
+    With the default ``markings=None`` the whole reachability set is
+    explored explicitly.  Passing a ``markings`` iterable instead filters
+    *those* markings for deadness — this is how query engines that do not
+    enumerate the state space (e.g. the SAT path:
+    ``find_deadlocks(net, markings=[witness.final_marking])`` with a
+    :class:`repro.sat.bmc.Witness`) report through the same interface as
+    the explicit one.
+    """
+    if markings is None:
+        graph = explore(net, max_states)
+        dead = (m for m, succs in graph.items() if not succs)
+    else:
+        dead = (m for m in markings if not enabled_transitions(net, m))
+    return sorted(dead, key=lambda m: repr(m))
 
 
 def is_deadlock_free(net: PetriNet,

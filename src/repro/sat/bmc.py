@@ -1,0 +1,156 @@
+"""Bounded model checking: find a firing sequence to a bad state.
+
+BMC asks, for growing ``k``: *is there a firing sequence of at most*
+``k`` *steps from the initial marking to a state satisfying the target
+predicate?*  Each iteration adds one step to the shared unrolling and one
+incremental solver call under assumptions — learnt clauses and variable
+activities carry over between bounds, which is where the CDCL solver's
+incremental interface pays off.
+
+A positive answer comes back as a :class:`Witness` carrying the firing
+sequence **and** the replayed markings: every witness is re-executed
+through the real token game (:func:`repro.petri.token_game.fire_safe`)
+before being returned, so a BMC result is never an artifact of the
+encoding.  ``None`` means "no such trace within the bound" — a bounded
+verdict, not a proof (for proofs see :mod:`repro.sat.kinduction`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..errors import ModelError
+from ..petri.marking import Marking
+from ..petri.net import PetriNet
+from ..petri.token_game import fire_safe
+from ..stg.stg import STG
+from .encodings import SafeNetEncoding, STGEncoding
+from .solver import ClauseFeeder, Solver
+
+DEFAULT_BOUND = 30
+
+TargetFn = Callable[[SafeNetEncoding, int], Sequence[int]]
+
+
+@dataclass
+class Witness:
+    """A concrete counterexample trace found by BMC.
+
+    ``transitions`` is the flattened firing sequence; ``steps`` groups it
+    per unrolling step (singletons under interleaving semantics, possibly
+    larger sets under the parallel semantics, empty stutter steps already
+    dropped); ``markings`` is the replayed trajectory, with
+    ``markings[0]`` the initial marking and ``markings[-1]`` the state
+    satisfying the target.
+    """
+
+    transitions: List[str]
+    steps: List[List[str]] = field(repr=False)
+    markings: List[Marking] = field(repr=False)
+    bound: int = 0
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def final_marking(self) -> Marking:
+        return self.markings[-1]
+
+
+def replay_witness(net: PetriNet, encoding: SafeNetEncoding, model_value,
+                   frame: int) -> Witness:
+    """Decode the fired steps of a satisfying assignment and replay them.
+
+    Stutter steps are dropped; every remaining transition is fired through
+    :func:`~repro.petri.token_game.fire_safe`, so the returned markings
+    are token-game truth, not solver output.  Shared by the BMC loop and
+    the two-copy CSC query.
+    """
+    steps = []
+    for step in range(frame):
+        fired = encoding.decode_step(model_value, step)
+        if fired:
+            steps.append(fired)
+    marking = net.initial_marking
+    markings = [marking]
+    transitions: List[str] = []
+    for fired in steps:
+        for t in fired:
+            marking = fire_safe(net, marking, t)
+            markings.append(marking)
+            transitions.append(t)
+    return Witness(transitions=transitions, steps=steps,
+                   markings=markings, bound=frame)
+
+
+class BMC:
+    """An incremental bounded-model-checking run over one encoding.
+
+    The encoding's clauses are streamed into a private solver as the
+    unrolling grows; :meth:`run` drives the bound loop for a target
+    predicate expressed as assumption literals.
+    """
+
+    def __init__(self, model: Union[PetriNet, STG],
+                 semantics: str = "interleaving",
+                 invariants: bool = True,
+                 track_consistency: bool = False):
+        if isinstance(model, STG):
+            self.net = model.net
+            self.encoding: SafeNetEncoding = STGEncoding(
+                model, semantics=semantics, invariants=invariants,
+                track_consistency=track_consistency)
+        else:
+            if track_consistency:
+                raise ModelError(
+                    "consistency tracking needs an STG, not a bare net")
+            self.net = model
+            self.encoding = SafeNetEncoding(
+                model, semantics=semantics, invariants=invariants)
+        self.solver = Solver()
+        self._feed = ClauseFeeder(self.solver, self.encoding.cnf)
+        self._feed()
+
+    def solve_at(self, target: TargetFn, frame: int) -> bool:
+        """One solver call: can the target hold at exactly ``frame``?"""
+        self.encoding.ensure_steps(frame)
+        self._feed()
+        assumptions = list(target(self.encoding, frame))
+        self._feed()  # target construction may add definition clauses
+        return self.solver.solve(assumptions)
+
+    def run(self, target: TargetFn, bound: int = DEFAULT_BOUND,
+            start: int = 0) -> Optional[Witness]:
+        """Search bounds ``start..bound`` for a trace satisfying the target.
+
+        ``target(encoding, frame)`` returns the assumption literals that
+        must hold at ``frame`` (it may add auxiliary clauses first).
+        Returns a replayed :class:`Witness` or None.
+        """
+        for k in range(start, bound + 1):
+            if self.solve_at(target, k):
+                return self.witness(k)
+        return None
+
+    def witness(self, frame: int) -> Witness:
+        """Decode and replay the model of the last (SAT) solver call."""
+        return replay_witness(self.net, self.encoding,
+                              self.solver.model_value, frame)
+
+
+# ---------------------------------------------------------------------- #
+# target predicates
+# ---------------------------------------------------------------------- #
+
+def deadlock_target(encoding: SafeNetEncoding, frame: int) -> Sequence[int]:
+    """Target: no transition enabled at ``frame``."""
+    return [encoding.deadlock_lit(frame)]
+
+
+def marking_target(target: Marking, partial: bool = False) -> TargetFn:
+    """Target factory: the frame equals (or covers, if ``partial``) the
+    given marking."""
+    def fn(encoding: SafeNetEncoding, frame: int) -> Sequence[int]:
+        return encoding.marking_lits(frame, target, partial=partial)
+    return fn

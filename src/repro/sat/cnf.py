@@ -1,0 +1,270 @@
+"""CNF formula construction: variable pools, Tseitin gates, DIMACS I/O.
+
+This is the bottom layer of the SAT subsystem.  A :class:`CNF` owns a pool
+of propositional variables (optionally named, so encodings can address
+"place ``p3`` at frame 7" symbolically) and a clause list in the usual
+integer-literal convention: variable ``v`` is the positive literal ``v``,
+its negation is ``-v``, and a clause is a tuple of literals.
+
+Structural formulas are translated clause-by-clause with the *Tseitin
+transformation*: every internal gate of the formula gets a definition
+variable constrained to be equivalent to the gate, so the CNF grows
+linearly in the formula size instead of exponentially.  The gate helpers
+(:meth:`CNF.iff_and`, :meth:`CNF.iff_or`, :meth:`CNF.iff_xor`, ...) expose
+the individual definitions; :meth:`CNF.tseitin` translates a nested
+expression tree in one call.
+
+The textual interchange format is DIMACS ``cnf``, the lingua franca of SAT
+solvers, so every encoding built here can be dumped and cross-checked with
+any external solver (:meth:`CNF.to_dimacs` / :meth:`CNF.from_dimacs` round
+trip losslessly, modulo comments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+
+Lit = int
+Clause = Tuple[Lit, ...]
+
+
+class CNF:
+    """A propositional formula in conjunctive normal form.
+
+    Variables are positive integers allocated through :meth:`new_var` (or
+    implicitly through :meth:`var` by name); clauses are added with
+    :meth:`add_clause`.  The class performs no solving — see
+    :mod:`repro.sat.solver`.
+    """
+
+    def __init__(self):
+        self.num_vars: int = 0
+        self.clauses: List[Clause] = []
+        self._names: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # variables
+    # ------------------------------------------------------------------ #
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Allocate a fresh variable, optionally registering a name."""
+        self.num_vars += 1
+        v = self.num_vars
+        if name is not None:
+            if name in self._names:
+                raise ModelError("duplicate CNF variable name %r" % name)
+            self._names[name] = v
+        return v
+
+    def var(self, name: str) -> int:
+        """The variable registered under ``name`` (created on first use)."""
+        v = self._names.get(name)
+        if v is None:
+            v = self.new_var(name)
+        return v
+
+    def name_of(self, var: int) -> Optional[str]:
+        """Reverse lookup of a variable's name (linear; for diagnostics)."""
+        for name, v in self._names.items():
+            if v == var:
+                return name
+        return None
+
+    # ------------------------------------------------------------------ #
+    # clauses
+    # ------------------------------------------------------------------ #
+
+    def add_clause(self, *lits: Lit) -> None:
+        """Add a clause (a disjunction of integer literals)."""
+        clause = []
+        for lit in lits:
+            v = abs(lit)
+            if not lit or v > self.num_vars:
+                raise ModelError("literal %d outside variable pool" % lit)
+            clause.append(lit)
+        self.clauses.append(tuple(clause))
+
+    def add_clauses(self, clauses: Iterable[Sequence[Lit]]) -> None:
+        """Add several clauses (each a sequence of literals)."""
+        for clause in clauses:
+            self.add_clause(*clause)
+
+    # ------------------------------------------------------------------ #
+    # Tseitin gate definitions
+    # ------------------------------------------------------------------ #
+
+    def iff_and(self, out: Lit, lits: Sequence[Lit]) -> Lit:
+        """Constrain ``out <-> AND(lits)`` and return ``out``.
+
+        An empty conjunction is true, so ``out`` is asserted.
+        """
+        if not lits:
+            self.add_clause(out)
+            return out
+        for lit in lits:
+            self.add_clause(-out, lit)
+        self.add_clause(out, *[-lit for lit in lits])
+        return out
+
+    def iff_or(self, out: Lit, lits: Sequence[Lit]) -> Lit:
+        """Constrain ``out <-> OR(lits)`` and return ``out``.
+
+        An empty disjunction is false, so ``-out`` is asserted.
+        """
+        if not lits:
+            self.add_clause(-out)
+            return out
+        for lit in lits:
+            self.add_clause(out, -lit)
+        self.add_clause(-out, *lits)
+        return out
+
+    def iff_xor(self, out: Lit, a: Lit, b: Lit) -> Lit:
+        """Constrain ``out <-> a XOR b`` and return ``out``."""
+        self.add_clause(-out, a, b)
+        self.add_clause(-out, -a, -b)
+        self.add_clause(out, -a, b)
+        self.add_clause(out, a, -b)
+        return out
+
+    def iff_lit(self, out: Lit, lit: Lit) -> Lit:
+        """Constrain ``out <-> lit`` and return ``out``."""
+        self.add_clause(-out, lit)
+        self.add_clause(out, -lit)
+        return out
+
+    def implies(self, antecedent: Lit, *consequents: Lit) -> None:
+        """Assert ``antecedent -> consequent`` for each consequent."""
+        for lit in consequents:
+            self.add_clause(-antecedent, lit)
+
+    def new_and(self, lits: Sequence[Lit], name: Optional[str] = None) -> Lit:
+        """Fresh variable defined as the conjunction of ``lits``."""
+        return self.iff_and(self.new_var(name), lits)
+
+    def new_or(self, lits: Sequence[Lit], name: Optional[str] = None) -> Lit:
+        """Fresh variable defined as the disjunction of ``lits``."""
+        return self.iff_or(self.new_var(name), lits)
+
+    def new_xor(self, a: Lit, b: Lit, name: Optional[str] = None) -> Lit:
+        """Fresh variable defined as ``a XOR b``."""
+        return self.iff_xor(self.new_var(name), a, b)
+
+    # ------------------------------------------------------------------ #
+    # cardinality
+    # ------------------------------------------------------------------ #
+
+    def at_most_one(self, lits: Sequence[Lit]) -> None:
+        """At most one of ``lits`` is true.
+
+        Uses the pairwise encoding below 7 literals and the sequential
+        (ladder) encoding above, which needs ``n - 1`` auxiliary variables
+        but only ``3n - 4`` clauses instead of ``n(n-1)/2``.
+        """
+        n = len(lits)
+        if n <= 1:
+            return
+        if n < 7:
+            for i in range(n):
+                for j in range(i + 1, n):
+                    self.add_clause(-lits[i], -lits[j])
+            return
+        # sequential encoding: s_i <- "some lit among the first i+1 is true"
+        prev = None
+        for i in range(n - 1):
+            s = self.new_var()
+            self.add_clause(-lits[i], s)
+            if prev is not None:
+                self.add_clause(-prev, s)
+            self.add_clause(-s, -lits[i + 1])
+            prev = s
+
+    def exactly_one(self, lits: Sequence[Lit]) -> None:
+        """Exactly one of ``lits`` is true."""
+        if not lits:
+            raise ModelError("exactly_one of no literals is unsatisfiable")
+        self.add_clause(*lits)
+        self.at_most_one(lits)
+
+    # ------------------------------------------------------------------ #
+    # expression trees
+    # ------------------------------------------------------------------ #
+
+    def tseitin(self, expr) -> Lit:
+        """Translate a nested expression tree to CNF; returns its literal.
+
+        Expressions are tuples: ``("var", name)``, ``("not", e)``,
+        ``("and", e1, e2, ...)``, ``("or", e1, e2, ...)``,
+        ``("xor", e1, e2)`` — or a bare integer literal.  The returned
+        literal is equivalent to the expression; assert it with
+        :meth:`add_clause` to require the expression to hold.
+        """
+        if isinstance(expr, int):
+            return expr
+        op = expr[0]
+        if op == "var":
+            return self.var(expr[1])
+        if op == "not":
+            return -self.tseitin(expr[1])
+        args = [self.tseitin(e) for e in expr[1:]]
+        if op == "and":
+            return self.new_and(args)
+        if op == "or":
+            return self.new_or(args)
+        if op == "xor":
+            out = args[0]
+            for lit in args[1:]:
+                out = self.new_xor(out, lit)
+            return out
+        raise ModelError("unknown expression operator %r" % (op,))
+
+    # ------------------------------------------------------------------ #
+    # DIMACS
+    # ------------------------------------------------------------------ #
+
+    def to_dimacs(self, comments: Sequence[str] = ()) -> str:
+        """Serialize to the DIMACS ``cnf`` format."""
+        lines = ["c %s" % c for c in comments]
+        lines.append("p cnf %d %d" % (self.num_vars, len(self.clauses)))
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse a DIMACS ``cnf`` string (inverse of :meth:`to_dimacs`)."""
+        cnf = cls()
+        declared = None
+        pending: List[int] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ModelError("malformed DIMACS header %r" % line)
+                cnf.num_vars = int(parts[2])
+                declared = int(parts[3])
+                continue
+            for tok in line.split():
+                lit = int(tok)
+                if lit == 0:
+                    cnf.add_clause(*pending)
+                    pending = []
+                else:
+                    pending.append(lit)
+        if pending:
+            raise ModelError("DIMACS clause missing terminating 0")
+        if declared is not None and declared != len(cnf.clauses):
+            raise ModelError(
+                "DIMACS header declares %d clauses, found %d"
+                % (declared, len(cnf.clauses)))
+        return cnf
+
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self):
+        return "CNF(vars=%d, clauses=%d)" % (self.num_vars, len(self.clauses))

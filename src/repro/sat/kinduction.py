@@ -1,0 +1,140 @@
+"""k-induction: turn bounded refutation into unbounded proof.
+
+BMC alone can only *find* counterexamples.  k-induction adds the proof
+direction: a safety property ``P`` ("no reachable deadlock", "no
+reachable bad state") holds in **every** reachable marking if
+
+* **base case** — no trace of length at most ``k`` from the initial
+  marking violates ``P`` (a BMC run), and
+* **inductive step** — no path of ``k+1`` transitions through *arbitrary*
+  markings that satisfies ``P`` in its first ``k+1`` states can violate
+  ``P`` in its last state.
+
+The step case is solved on an *unanchored* unrolling (frame 0 is any
+marking allowed by the P-invariant constraints, not the initial one) with
+the *simple-path* refinement: all frames pairwise distinct.  Without it,
+induction would almost never converge (any ``P``-state looping to itself
+blocks the proof); with it, ``k`` need never exceed the longest simple
+path, so the method is complete for finite state spaces — though the
+practical bound cutoff returns :class:`Unknown` long before that.
+
+The verdict is a three-valued result object:
+
+* :class:`Proved` — the property holds in all reachable markings;
+* :class:`Refuted` — a replayed counterexample :class:`Witness`;
+* :class:`Unknown` — neither within the configured ``max_k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..petri.net import PetriNet
+from ..stg.stg import STG
+from .bmc import BMC, TargetFn, Witness
+from .encodings import SafeNetEncoding, STGEncoding
+from .solver import ClauseFeeder, Solver
+
+DEFAULT_MAX_K = 15
+
+
+@dataclass
+class Proved:
+    """The property holds in every reachable marking (proved at depth k).
+
+    "Reachable" means reachable under the contact-free safe-net
+    semantics of the encoding — identical to the token game on 1-safe
+    nets, a restriction on unsafe ones (see
+    :mod:`repro.sat.encodings`)."""
+
+    k: int
+
+    def __bool__(self):
+        return True
+
+
+@dataclass
+class Refuted:
+    """A reachable marking violates the property; ``witness`` replays."""
+
+    witness: Witness
+
+    @property
+    def k(self) -> int:
+        return self.witness.bound
+
+    def __bool__(self):
+        return False
+
+
+@dataclass
+class Unknown:
+    """No counterexample and no proof up to depth ``k``."""
+
+    k: int
+
+    def __bool__(self):
+        return False
+
+
+Verdict = Union[Proved, Refuted, Unknown]
+
+
+class _StepCase:
+    """The unanchored inductive-step unrolling with its own solver."""
+
+    def __init__(self, model, semantics: str, invariants: bool):
+        if isinstance(model, STG):
+            self.encoding: SafeNetEncoding = STGEncoding(
+                model, semantics=semantics, invariants=invariants,
+                anchor_initial=False)
+        else:
+            self.encoding = SafeNetEncoding(
+                model, semantics=semantics, invariants=invariants,
+                anchor_initial=False)
+        self.solver = Solver()
+        self._feed = ClauseFeeder(self.solver, self.encoding.cnf)
+
+    def holds_at(self, bad: TargetFn, k: int) -> bool:
+        """True iff the step case of depth ``k`` is unsatisfiable.
+
+        Checks: frames ``0..k`` good and pairwise distinct, frame ``k+1``
+        (= one more step) bad.  The good-frame constraints are asserted
+        permanently as the unrolling grows, which keeps the solver fully
+        incremental across depths.
+        """
+        enc = self.encoding
+        while enc.steps() < k + 1:
+            frame = enc.steps()  # about to gain a successor: mark it good
+            bad_lits = bad(enc, frame)
+            self._feed()
+            # "good" is the negation of the bad *cube*: one clause
+            self.solver.add_clause([-lit for lit in bad_lits])
+            for j in range(frame):
+                enc.distinct_frames(j, frame)
+            enc.add_step()
+            self._feed()
+        assumptions = list(bad(enc, k + 1))
+        self._feed()
+        return not self.solver.solve(assumptions)
+
+
+def k_induction(model, bad: TargetFn,
+                max_k: int = DEFAULT_MAX_K,
+                semantics: str = "interleaving",
+                invariants: bool = True) -> Verdict:
+    """Prove or refute that no reachable marking satisfies ``bad``.
+
+    ``bad(encoding, frame)`` returns assumption literals describing the
+    bad states (e.g. :func:`repro.sat.bmc.deadlock_target`).  Interleaves
+    the BMC base case and the inductive step case at each depth.
+    """
+    base = BMC(model, semantics=semantics, invariants=invariants)
+    step = _StepCase(model, semantics=semantics, invariants=invariants)
+    for k in range(max_k + 1):
+        if base.solve_at(bad, k):
+            return Refuted(base.witness(k))
+        if step.holds_at(bad, k):
+            return Proved(k)
+    return Unknown(max_k)

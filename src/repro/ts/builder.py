@@ -21,6 +21,12 @@ produce **bit-identical** transition systems: the same states, the same
 arcs in the same insertion order (BFS level order, transitions fired in
 sorted name order per state), so every downstream consumer — state-graph
 codes, regions, CSC, synthesis, verification — is oblivious to the choice.
+
+A fourth engine name, ``"sat"``, is reserved for the query-based
+verification path of :mod:`repro.sat`: it never builds the graph, so
+requesting it here raises :class:`~repro.errors.ModelError` with a
+pointer to :mod:`repro.sat.queries` (``reach_marking``,
+``find_deadlock``, ``csc_conflict``, ``prove_deadlock_free``, ...).
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ from .transition_system import TransitionSystem
 
 DEFAULT_STATE_BOUND = 1_000_000
 
-ENGINES = ("auto", "compiled", "naive")
+ENGINES = ("auto", "compiled", "naive", "sat")
 
 
 def build_reachability_graph(model: Union[PetriNet, STG],
@@ -67,6 +73,14 @@ def build_reachability_graph(model: Union[PetriNet, STG],
         use_compiled = True
     elif engine == "naive":
         use_compiled = False
+    elif engine == "sat":
+        # the SAT engine answers *queries*, it never materialises the
+        # graph — asking it for the full graph is a usage error
+        raise ModelError(
+            "engine='sat' answers targeted queries without building the"
+            " reachability graph; use repro.sat.queries (reach_marking,"
+            " find_deadlock, csc_conflict, ...) instead of"
+            " build_reachability_graph")
     else:
         raise ModelError(
             "unknown engine %r (expected one of %s)" % (engine, ENGINES))
