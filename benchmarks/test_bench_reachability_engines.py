@@ -1,10 +1,14 @@
 """Reachability-engine shoot-out: naive token game vs compiled bitvector
-engine vs BDD symbolic traversal (paper, Section 2.2).
+engine vs symbolic BDD traversal (paper, Section 2.2).
 
 The paper names state-space generation as the scalability bottleneck of
-STG-based synthesis.  This benchmark pits the three engines against each
+STG-based synthesis.  This benchmark pits the graph-building engines of
+the unified framework (``naive`` / ``compiled`` / ``bdd``) against each
 other on the scalable library models and asserts that they agree exactly:
-same state counts, same arc sets, same initial state-graph codes.
+same state counts, same arc sets, same initial state-graph codes.  The
+final benchmark shows what the symbolic engine is actually *for*: its
+query variant keeps counting reachable markings of a Muller pipeline at a
+size where every graph-building engine blows its state budget.
 
 Representative timings (this machine, muller_pipeline(10), 2048 states /
 6656 arcs): naive ~120 ms, compiled ~28 ms cold / ~14 ms warm.  The
@@ -15,7 +19,8 @@ synthesis flow); see EXPERIMENTS.md for the cold/warm table.
 
 import pytest
 
-from repro.bdd import SymbolicReachability
+from repro.bdd import SymbolicReachability, reachable_count
+from repro.errors import StateExplosionError
 from repro.stg import muller_pipeline, pipeline_ring
 from repro.ts import build_reachability_graph, build_state_graph
 
@@ -25,7 +30,7 @@ MODELS = {
     "pipeline_ring_12": lambda: pipeline_ring(12),
 }
 
-ENGINES = ("naive", "compiled")
+ENGINES = ("naive", "compiled", "bdd")
 
 
 @pytest.mark.parametrize("engine", ENGINES)
@@ -46,7 +51,7 @@ def test_engine_initial_codes_agree(model):
     for engine in ENGINES:
         sg = build_state_graph(stg, engine=engine)
         codes[engine] = (sg.code(sg.initial), sg.initial_values)
-    assert codes["naive"] == codes["compiled"]
+    assert codes["naive"] == codes["compiled"] == codes["bdd"]
 
 
 @pytest.mark.parametrize("model", ["muller_pipeline_6", "pipeline_ring_12"])
@@ -58,3 +63,27 @@ def test_engine_symbolic_state_count_agrees(benchmark, model):
         return SymbolicReachability(stg.net).count()
 
     assert benchmark(symbolic_count) == explicit
+
+
+#: State budget for the over-budget benchmark: every explicit engine gives
+#: up here, the symbolic query does not.
+STATE_BUDGET = 4096
+
+
+def test_bdd_query_beyond_explicit_state_budget(benchmark):
+    """The ISSUE-5 acceptance benchmark: ``muller_pipeline(12)`` has
+    ``2**13 = 8192`` reachable markings.  Under a 4096-state budget every
+    graph-building engine — including the bdd engine's own
+    materialisation, which refuses *before* enumerating — raises
+    :class:`StateExplosionError`, while the frontier/partitioned symbolic
+    count answers exactly.
+    """
+    stg = muller_pipeline(12)
+    for engine in ("naive", "compiled", "bdd"):
+        with pytest.raises(StateExplosionError):
+            build_reachability_graph(stg, engine=engine,
+                                     max_states=STATE_BUDGET)
+
+    count = benchmark.pedantic(reachable_count, args=(stg,),
+                               rounds=1, iterations=1)
+    assert count == 2 ** 13

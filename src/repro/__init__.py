@@ -17,8 +17,11 @@ The library covers the whole flow of the paper:
   (Section 1.4, Figure 4);
 * :mod:`repro.analysis` — implementability properties (consistency, CSC,
   persistency) and stubborn-set reduction (Section 2);
-* :mod:`repro.bdd` — ROBDD engine and symbolic traversal with naive and
-  dense (SM-component) encodings (Section 2.2);
+* :mod:`repro.bdd` — ROBDD engine, the symbolic ``engine="bdd"`` backend
+  (partitioned-relation frontier traversal with naive and dense
+  SM-component encodings) and symbolic queries — counts, deadlocks,
+  CSC characteristic functions — without state enumeration
+  (Section 2.2);
 * :mod:`repro.sat` — CDCL SAT solver, net-to-CNF encodings, bounded model
   checking and k-induction for reachability/deadlock/CSC queries without
   state-graph construction (Section 2.2's state-explosion escape hatch);

@@ -15,9 +15,11 @@ An STG is implementable as a speed-independent circuit iff:
 
 This module computes all of these on the explicit state graph and returns
 a structured report.  For nets whose state graph is too large to build,
-:func:`find_csc_conflict_sat` answers the CSC question alone through the
-bounded-model-checking path of :mod:`repro.sat` — a query, not an
-enumeration.
+two query engines answer the CSC question alone without enumeration:
+:func:`find_csc_conflict_sat` through the bounded-model-checking path of
+:mod:`repro.sat` (a search, complete only up to its bound) and
+:func:`find_csc_conflict_bdd` through the symbolic fixpoint of
+:mod:`repro.bdd.queries` (an exact characteristic-function answer).
 """
 
 from __future__ import annotations
@@ -218,13 +220,36 @@ def find_csc_conflict_sat(stg: STG, bound: int = 30):
     return _csc_conflict(stg, bound=bound)
 
 
+def find_csc_conflict_bdd(stg: STG, place_order: str = "dfs"):
+    """Symbolic CSC check: conflicting codes without a state graph.
+
+    Delegates to :class:`repro.bdd.queries.SymbolicCSC`: the reachable
+    (marking, signal-parity) pairs are computed as a BDD fixpoint and the
+    characteristic function of the conflicting codes is extracted from
+    it.  Returns the :class:`~repro.bdd.queries.SymbolicCSC` object —
+    ``has_conflict()``, ``conflict_count()`` and ``conflict_parities()``
+    answer without enumerating a single state.  Complements
+    :func:`csc_conflicts` (explicit, needs the full state graph) and
+    :func:`find_csc_conflict_sat` (bounded search with witness traces).
+    """
+    from ..bdd.queries import SymbolicCSC
+
+    return SymbolicCSC(stg, place_order=place_order)
+
+
 def check_implementability(stg: STG,
                            max_states: int = 1_000_000,
                            engine: str = "auto") -> ImplementabilityReport:
     """Run the full battery of Section 2.1 checks and return a report.
 
     ``engine`` selects the reachability engine used to build the state
-    graph (see :func:`repro.ts.builder.build_reachability_graph`).
+    graph — any of the graph-building members of
+    :data:`repro.ts.builder.ENGINES` (``"auto"``, ``"compiled"``,
+    ``"naive"``, ``"bdd"``); the query-only ``"sat"`` engine cannot build
+    the graph this report needs (see
+    :func:`repro.ts.builder.build_reachability_graph`), use
+    :func:`find_csc_conflict_sat` / :func:`find_csc_conflict_bdd` for
+    single-question analyses instead.
     """
     report = ImplementabilityReport(stg_name=stg.name)
     try:

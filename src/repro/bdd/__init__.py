@@ -1,7 +1,21 @@
-"""ROBDD engine and symbolic Petri-net reachability (paper Section 2.2)."""
+"""ROBDD engine, symbolic traversal and symbolic queries (Section 2.2).
+
+The package backs ``engine="bdd"`` of the unified engine framework
+(:mod:`repro.ts.builder`) and the query layer of :mod:`repro.bdd.queries`
+(``repro bdd-check`` on the command line).
+"""
 
 from .bdd import BDD, FALSE, TRUE
+from .queries import (
+    SymbolicCSC,
+    csc_conflict_chf,
+    find_deadlock,
+    has_csc_conflict,
+    has_deadlock,
+    reachable_count,
+)
 from .symbolic import (
+    RELATION_STYLES,
     structural_place_order,
     DenseSymbolicReachability,
     SymbolicReachability,
@@ -10,6 +24,8 @@ from .symbolic import (
 
 __all__ = [
     "BDD", "FALSE", "TRUE",
-    "DenseSymbolicReachability", "SymbolicReachability", "structural_place_order",
-    "symbolic_marking_count",
+    "DenseSymbolicReachability", "RELATION_STYLES", "SymbolicCSC",
+    "SymbolicReachability", "csc_conflict_chf", "find_deadlock",
+    "has_csc_conflict", "has_deadlock", "reachable_count",
+    "structural_place_order", "symbolic_marking_count",
 ]

@@ -288,6 +288,67 @@ class BDD:
         return count(f) << self.level(f) if f > 1 else (
             0 if f == FALSE else 1 << nvars)
 
+    def pick(self, f: int, names: Optional[Sequence[str]] = None
+             ) -> Dict[str, int]:
+        """One satisfying assignment of a non-FALSE function.
+
+        Walks a single path to the TRUE terminal, preferring the 1-branch;
+        variables the path does not test are returned as 0.  When ``names``
+        is given the result is restricted to (and padded over) exactly
+        those variables.  Raises :class:`ModelError` on the constant-0
+        function.
+        """
+        if f == FALSE:
+            raise ModelError("cannot pick an assignment from the constant 0")
+        assignment: Dict[str, int] = {}
+        u = f
+        while u > 1:
+            name = self.variables[self.level(u)]
+            if self.high(u) != FALSE:
+                assignment[name] = 1
+                u = self.high(u)
+            else:
+                assignment[name] = 0
+                u = self.low(u)
+        if names is None:
+            return assignment
+        return {n: assignment.get(n, 0) for n in names}
+
+    def sat_over(self, f: int, names: Sequence[str]
+                 ) -> Iterator[Dict[str, int]]:
+        """Enumerate the satisfying assignments over a variable subset.
+
+        ``f`` must depend on no variable outside ``names`` (quantify the
+        rest away first); otherwise :class:`ModelError` is raised.  Unlike
+        :meth:`sat_all`, the cost is proportional to the number of
+        assignments over ``names`` only.
+        """
+        order = sorted(names, key=lambda n: self.var_index[n])
+        levels = [self.var_index[n] for n in order]
+        allowed = set(levels)
+
+        def walk(u: int, i: int, partial: Dict[str, int]):
+            if u == FALSE:
+                return
+            if u > 1 and self.level(u) not in allowed:
+                raise ModelError(
+                    "function depends on %r, outside the enumeration set"
+                    % self.variables[self.level(u)])
+            if i == len(order):
+                yield dict(partial)
+                return
+            name, target = order[i], levels[i]
+            if u > 1 and self.level(u) == target:
+                branches = ((0, self.low(u)), (1, self.high(u)))
+            else:
+                branches = ((0, u), (1, u))
+            for value, child in branches:
+                partial[name] = value
+                yield from walk(child, i + 1, partial)
+            del partial[name]
+
+        yield from walk(f, 0, {})
+
     def sat_all(self, f: int) -> Iterator[Dict[str, int]]:
         """Enumerate all satisfying full assignments."""
         n = len(self.variables)

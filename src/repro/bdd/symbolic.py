@@ -1,5 +1,21 @@
-"""Symbolic (BDD-based) reachability analysis of safe Petri nets
-(paper, Section 2.2).
+"""Symbolic (BDD-based) reachability of safe Petri nets — the ``"bdd"``
+backend of the unified engine framework (paper, Section 2.2).
+
+This module is no longer a standalone demo: it is one of the engines
+behind :func:`repro.ts.builder.build_reachability_graph` (``auto`` /
+``compiled`` / ``naive`` / ``bdd`` / ``sat``).  It serves two roles:
+
+* **query engine** — :class:`SymbolicReachability` answers questions
+  about the state space (``count``, ``find_deadlock``,
+  ``safety_violation``, membership) on the characteristic-function
+  representation, without ever enumerating markings; the wrappers in
+  :mod:`repro.bdd.queries` expose this per model.
+* **graph engine** — :meth:`SymbolicReachability.to_transition_system`
+  materialises the symbolic fixpoint into an explicit
+  :class:`~repro.ts.transition_system.TransitionSystem` that is
+  bit-identical (same states, same arcs, same insertion order) to the
+  ``naive`` and ``compiled`` engines, which is what
+  ``build_reachability_graph(engine="bdd")`` returns.
 
 Two state encodings are provided, mirroring the paper's discussion:
 
@@ -11,22 +27,28 @@ Two state encodings are provided, mirroring the paper's discussion:
   characteristic function of the reachable markings becomes the constant 1
   — reproduced in the benchmark suite.
 
-The traversal is the standard least fixpoint with a monolithic transition
-relation built as the disjunction of per-transition relations, exactly as
-described in the paper ("starting from the initial marking by iterative
-application of the transition function ... until the fixed point is
-reached").
+The traversal is a least fixpoint on the *frontier set* (only newly
+reached markings are passed to the image computation).  The transition
+relation is **partitioned**: one small relation per transition over just
+the places it touches, so the image quantifies and renames only those
+variables and untouched places pass through unchanged.  The monolithic
+disjunction the paper describes ("iterative application of the transition
+function ... until the fixed point is reached") is kept as
+``relation="monolithic"`` for ablation studies.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..errors import ModelError
+from ..errors import ModelError, StateExplosionError, UnboundedError
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
 from ..petri.structure import DenseEncoding, SMComponent, sm_cover
 from .bdd import BDD, FALSE, TRUE
+
+#: Relation styles accepted by the symbolic engines.
+RELATION_STYLES = ("partitioned", "monolithic")
 
 
 def structural_place_order(net: PetriNet) -> List[str]:
@@ -55,13 +77,114 @@ def structural_place_order(net: PetriNet) -> List[str]:
     return order
 
 
-class SymbolicReachability:
-    """Symbolic reachability with the naive one-variable-per-place encoding."""
+#: A partitioned-relation entry: transition name, relation BDD over the
+#: touched current/next variables, the touched current variables to
+#: quantify, and the primed-to-current rename map.
+PartitionedRelation = Tuple[str, int, List[str], Dict[str, str]]
 
-    def __init__(self, net: PetriNet, place_order: str = "dfs"):
+
+def marking_relation_parts(bdd: BDD, net: PetriNet, transition: str,
+                           safe: bool = False) -> Tuple[List[int], List[str]]:
+    """The marking part of one transition's relation over place variables.
+
+    Returns ``(literals, touched_places)`` where the literals are the
+    enabling cube over current variables plus the post/consumed updates
+    over primed variables.  With ``safe=True`` the enabling cube also
+    requires every output place outside the preset to be empty — the
+    relation then models exactly the 1-safe token game (a would-be unsafe
+    firing is simply disabled), which is what the safety decision
+    procedure traverses.
+    """
+    pre = set(net.pre(transition))
+    post = set(net.post(transition))
+    parts = [bdd.var(p) for p in sorted(pre)]
+    if safe:
+        parts.extend(bdd.nvar(p) for p in sorted(post - pre))
+    for p in sorted(pre | post):
+        nxt = p + "'"
+        parts.append(bdd.var(nxt) if p in post else bdd.nvar(nxt))
+    return parts, sorted(pre | post)
+
+
+def find_safety_clash(bdd: BDD, net: PetriNet, reached: int,
+                      places: Sequence[str]
+                      ) -> Optional[Tuple[str, Dict[str, int]]]:
+    """First (transition, place-assignment) in ``reached`` whose firing
+    would put a second token somewhere, or None.  ``reached`` must be the
+    *safe-guarded* fixpoint (see :func:`marking_relation_parts`), so the
+    returned marking is genuinely reachable in the real token game."""
+    for t in sorted(net.transitions):
+        pre = set(net.pre(t))
+        extra = sorted(set(net.post(t)) - pre)
+        if not extra:
+            continue
+        enabled = bdd.conj([bdd.var(p) for p in sorted(pre)])
+        clash = bdd.apply_and(bdd.apply_and(reached, enabled),
+                              bdd.disj([bdd.var(p) for p in extra]))
+        if clash != FALSE:
+            return t, bdd.pick(clash, places)
+    return None
+
+
+def raise_unsafe(net: PetriNet, transition: str, marking: Marking) -> None:
+    """Raise :class:`UnboundedError` with the naive engine's message."""
+    offenders = [p for p in sorted(set(net.post(transition)))
+                 if marking.get(p) and p not in net.pre(transition)]
+    raise UnboundedError(
+        "firing %r from %r violates 1-safeness at %r"
+        % (transition, marking, offenders))
+
+
+def _frontier_fixpoint(bdd: BDD, init: int,
+                       partitioned: Sequence[PartitionedRelation]) -> int:
+    """Least fixpoint of the reachable set by frontier-set image steps.
+
+    Each iteration computes ``Img(frontier) = ∨_t ∃touched_t . frontier ∧
+    T_t`` (renamed back to current variables) and extends the reached set
+    with it; only the genuinely new part becomes the next frontier.
+    """
+    reached = init
+    frontier = init
+    while frontier != FALSE:
+        parts = []
+        for _name, relation, current, rename_back in partitioned:
+            part = bdd.and_exists(frontier, relation, current)
+            if rename_back:
+                part = bdd.rename(part, rename_back)
+            parts.append(part)
+        image = bdd.disj(parts)
+        frontier = bdd.apply_and(image, bdd.apply_not(reached))
+        reached = bdd.apply_or(reached, image)
+    return reached
+
+
+class SymbolicReachability:
+    """Symbolic reachability with the naive one-variable-per-place encoding.
+
+    ``initial`` overrides the net's initial marking (it must be 1-safe and
+    mark only known places); ``relation`` selects ``"partitioned"``
+    (default) or ``"monolithic"`` image computation.
+    """
+
+    def __init__(self, net: PetriNet, place_order: str = "dfs",
+                 initial: Optional[Marking] = None,
+                 relation: str = "partitioned"):
         if not net.has_ordinary_arcs():
             raise ModelError("symbolic traversal requires arc weights of 1")
+        if relation not in RELATION_STYLES:
+            raise ModelError("unknown relation style %r (expected one of %s)"
+                             % (relation, RELATION_STYLES))
         self.net = net
+        self.relation = relation
+        if initial is None:
+            initial = net.initial_marking
+        for p in initial.places():
+            if p not in net.places:
+                raise ModelError("unknown place %r in initial marking" % p)
+        if not initial.is_safe():
+            raise ModelError("symbolic traversal requires a 1-safe initial"
+                             " marking")
+        self.initial = initial
         if place_order == "dfs":
             self.places = structural_place_order(net)
         elif place_order == "sorted":
@@ -74,6 +197,10 @@ class SymbolicReachability:
             variables.append(p + "'")    # next-state variable
         self.bdd = BDD(variables)
         self._reached: Optional[int] = None
+        self._partitioned: Optional[List[PartitionedRelation]] = None
+        self._monolithic: Optional[int] = None
+        self._violation: Optional[Tuple[str, Marking]] = None
+        self._violation_known = False
 
     # -- encodings ------------------------------------------------------ #
 
@@ -83,31 +210,52 @@ class SymbolicReachability:
             {p: 1 if marking.get(p) else 0 for p in self.places}
         )
 
+    def partitioned_relations(self) -> List[PartitionedRelation]:
+        """Per-transition relations over just the touched places.
+
+        Each entry is ``(name, T_t, touched_current, rename_back)`` where
+        ``T_t = ∧_{p∈pre} x_p ∧ ∧_{p∈post} x'_p ∧ ∧_{p∈pre∖post} ¬x'_p``.
+        Untouched places carry no frame constraint — the image computation
+        leaves them alone, which is what makes the partitioned traversal
+        cheap on nets whose transitions are local (the common case for
+        handshake circuits).
+        """
+        if self._partitioned is not None:
+            return self._partitioned
+        self._partitioned = self._relations(safe=False)
+        return self._partitioned
+
+    def _relations(self, safe: bool) -> List[PartitionedRelation]:
+        bdd = self.bdd
+        result: List[PartitionedRelation] = []
+        for t in sorted(self.net.transitions):
+            parts, touched = marking_relation_parts(bdd, self.net, t,
+                                                    safe=safe)
+            rename_back = {p + "'": p for p in touched}
+            result.append((t, bdd.conj(parts), touched, rename_back))
+        return result
+
     def transition_relation(self) -> int:
-        """Monolithic relation T(x, x') = ∨_t enabled_t(x) ∧ update_t(x, x')."""
+        """Monolithic relation T(x, x') = ∨_t enabled_t(x) ∧ update_t(x, x')
+        with explicit frame constraints for untouched places — the form the
+        paper describes; kept for the relation-style ablation."""
+        if self._monolithic is not None:
+            return self._monolithic
         bdd = self.bdd
         relations = []
-        for t in sorted(self.net.transitions):
-            pre = set(self.net.pre(t))
-            post = set(self.net.post(t))
-            parts: List[int] = []
-            for p in pre:
-                parts.append(bdd.var(p))
-            for p in sorted(pre | post):
-                nxt = p + "'"
-                if p in post:
-                    parts.append(bdd.var(nxt))
-                else:
-                    parts.append(bdd.nvar(nxt))
+        for t, relation, touched, _rename in self.partitioned_relations():
+            parts = [relation]
+            touched_set = set(touched)
             for p in self.places:
-                if p in pre or p in post:
+                if p in touched_set:
                     continue
                 # frame: x_p' == x_p
                 same = bdd.apply_not(bdd.apply_xor(bdd.var(p),
                                                    bdd.var(p + "'")))
                 parts.append(same)
             relations.append(bdd.conj(parts))
-        return bdd.disj(relations)
+        self._monolithic = bdd.disj(relations)
+        return self._monolithic
 
     # -- traversal ------------------------------------------------------ #
 
@@ -116,19 +264,15 @@ class SymbolicReachability:
         if self._reached is not None:
             return self._reached
         bdd = self.bdd
-        relation = self.transition_relation()
-        current_vars = self.places
-        rename_back = {p + "'": p for p in self.places}
-        reached = self.marking_to_bdd(self.net.initial_marking)
-        frontier = reached
-        while True:
-            image = bdd.and_exists(frontier, relation, current_vars)
-            image = bdd.rename(image, rename_back)
-            new_reached = bdd.apply_or(reached, image)
-            if new_reached == reached:
-                break
-            frontier = bdd.apply_and(image, bdd.apply_not(reached))
-            reached = new_reached
+        init = self.marking_to_bdd(self.initial)
+        if self.relation == "partitioned":
+            reached = _frontier_fixpoint(bdd, init,
+                                         self.partitioned_relations())
+        else:
+            relation = self.transition_relation()
+            rename_back = {p + "'": p for p in self.places}
+            monolithic = [("*", relation, list(self.places), rename_back)]
+            reached = _frontier_fixpoint(bdd, init, monolithic)
         self._reached = reached
         return reached
 
@@ -139,6 +283,9 @@ class SymbolicReachability:
         primed = [p + "'" for p in self.places]
         core = self.bdd.exists(reached, primed)
         return self.bdd.satcount(core) >> len(primed)
+
+    #: Query-style alias: the reachable-marking count without enumeration.
+    reachable_count = count
 
     def bdd_size(self) -> int:
         """Node count of the reachable-set BDD."""
@@ -160,13 +307,133 @@ class SymbolicReachability:
         ])
         return bdd.apply_and(self.reachable(), bdd.apply_not(enabled_any))
 
+    # -- query variants (no materialisation) ---------------------------- #
+
+    def _marking_of(self, assignment: Dict[str, int]) -> Marking:
+        return Marking({p: 1 for p in self.places if assignment.get(p)})
+
+    def find_deadlock(self) -> Optional[Marking]:
+        """One reachable dead marking, or None if the net is deadlock-free.
+
+        Raises :class:`UnboundedError` for non-1-safe nets (the capped
+        symbolic semantics would silently misreport them otherwise).
+        """
+        self.assert_safe()
+        dead = self.deadlocks()
+        if dead == FALSE:
+            return None
+        return self._marking_of(self.bdd.pick(dead, self.places))
+
+    def deadlock_markings(self) -> List[Marking]:
+        """All reachable dead markings (enumerated from the deadlock BDD).
+
+        Raises :class:`UnboundedError` for non-1-safe nets.
+        """
+        self.assert_safe()
+        dead = self.deadlocks()
+        return sorted((self._marking_of(a)
+                       for a in self.bdd.sat_over(dead, self.places)),
+                      key=lambda m: repr(m))
+
+    def safety_violation(self) -> Optional[Tuple[str, Marking]]:
+        """A 1-safeness violation witness, or None if the net is safe.
+
+        Returns ``(transition, marking)`` where ``marking`` is reachable
+        *in the real token game* and enables ``transition`` while some
+        output place outside its preset is already marked — firing would
+        put a second token there.  The traversal behind the answer uses
+        the safe-guarded relations (unsafe firings are disabled instead
+        of capped), so every visited marking is genuinely reachable; and
+        since the first unsafe firing of any run happens from exactly
+        such a marking, the test is an exact safety decision procedure.
+        On a safe net the guarded fixpoint *is* the reachable set, so the
+        extra traversal is reused rather than recomputed.
+        """
+        if self._violation_known:
+            return self._violation
+        bdd = self.bdd
+        init = self.marking_to_bdd(self.initial)
+        safe_reached = _frontier_fixpoint(bdd, init, self._relations(safe=True))
+        clash = find_safety_clash(bdd, self.net, safe_reached, self.places)
+        if clash is None:
+            self._violation = None
+            if self._reached is None:
+                # safe net: the guarded and unguarded fixpoints coincide
+                self._reached = safe_reached
+        else:
+            t, assignment = clash
+            self._violation = (t, self._marking_of(assignment))
+        self._violation_known = True
+        return self._violation
+
+    def assert_safe(self) -> None:
+        """Raise :class:`UnboundedError` (with the same witness message as
+        the naive engine) unless the net is 1-safe from ``initial``."""
+        violation = self.safety_violation()
+        if violation is not None:
+            raise_unsafe(self.net, *violation)
+
+    # -- materialisation ------------------------------------------------ #
+
+    def to_transition_system(self, max_states: int = 1_000_000):
+        """Materialise the symbolic fixpoint as an explicit
+        :class:`~repro.ts.transition_system.TransitionSystem`.
+
+        The symbolic phase decides the questions that make explicit
+        enumeration safe to attempt — 1-safety (:class:`UnboundedError`
+        with a witness otherwise) and the state budget
+        (:class:`StateExplosionError` *before* any enumeration) — and the
+        explicit phase then replays the token game in BFS order (states in
+        discovery order, transitions in sorted name order per state),
+        cross-checking every visited marking against the reachable BDD.
+        The result is bit-identical to the ``naive`` and ``compiled``
+        engines of :mod:`repro.ts.builder`.
+        """
+        from ..petri.token_game import enabled_transitions, fire
+        from ..ts.transition_system import TransitionSystem
+
+        self.assert_safe()
+        total = self.count()
+        if total > max_states:
+            raise StateExplosionError(
+                "reachability graph exceeded %d states (symbolic count: %d)"
+                % (max_states, total))
+        reached = self.reachable()
+        bdd = self.bdd
+        net = self.net
+        ts = TransitionSystem(self.initial)
+        frontier = [self.initial]
+        seen = {self.initial}
+        while frontier:
+            next_frontier = []
+            for marking in frontier:
+                for t in enabled_transitions(net, marking):
+                    succ = fire(net, marking, t, check=False)
+                    ts.add_arc(marking, t, succ)
+                    if succ not in seen:
+                        env = {p: 1 if succ.get(p) else 0
+                               for p in self.places}
+                        if bdd.eval(reached, env) != TRUE:
+                            raise ModelError(
+                                "internal error: explicit replay reached"
+                                " %r outside the symbolic fixpoint" % succ)
+                        seen.add(succ)
+                        next_frontier.append(succ)
+            frontier = next_frontier
+        return ts
+
 
 class DenseSymbolicReachability:
     """Symbolic reachability with the SM-component dense encoding (§2.2)."""
 
     def __init__(self, net: PetriNet,
-                 cover: Optional[List[SMComponent]] = None):
+                 cover: Optional[List[SMComponent]] = None,
+                 relation: str = "partitioned"):
+        if relation not in RELATION_STYLES:
+            raise ModelError("unknown relation style %r (expected one of %s)"
+                             % (relation, RELATION_STYLES))
         self.net = net
+        self.relation = relation
         self.encoding = DenseEncoding(net, cover)
         variables: List[str] = []
         for v in self.encoding.variables:
@@ -174,6 +441,7 @@ class DenseSymbolicReachability:
             variables.append(v + "'")
         self.bdd = BDD(variables)
         self._reached: Optional[int] = None
+        self._partitioned: Optional[List[PartitionedRelation]] = None
 
     # -- encodings ------------------------------------------------------ #
 
@@ -190,15 +458,18 @@ class DenseSymbolicReachability:
         """Characteristic function of a marking in the dense encoding."""
         return self._cube_to_bdd(self.encoding.encode(marking), primed=False)
 
-    def transition_relation(self) -> int:
+    def partitioned_relations(self) -> List[PartitionedRelation]:
         """Per-transition relations over the dense variables.
 
         For each SM component the transition consumes from exactly one
         place and produces into exactly one place of the component; bits of
-        untouched components are framed.
+        untouched components are left unconstrained (the image computation
+        passes them through, replacing the frame terms of the monolithic
+        relation).
         """
-        bdd = self.bdd
-        relations = []
+        if self._partitioned is not None:
+            return self._partitioned
+        result: List[PartitionedRelation] = []
         for t in sorted(self.net.transitions):
             pre = set(self.net.pre(t))
             post = set(self.net.post(t))
@@ -218,8 +489,23 @@ class DenseSymbolicReachability:
                                               primed=False))
                 parts.append(self._bits_equal(bits, codes[post_in[0]],
                                               primed=True))
-            for bit, v in enumerate(self.encoding.variables):
-                if bit in touched_bits:
+            touched = [self.encoding.variables[b] for b in
+                       sorted(touched_bits)]
+            rename_back = {v + "'": v for v in touched}
+            result.append((t, self.bdd.conj(parts), touched, rename_back))
+        self._partitioned = result
+        return result
+
+    def transition_relation(self) -> int:
+        """Monolithic dense relation (per-transition disjuncts plus frame
+        constraints for the bits of untouched components)."""
+        bdd = self.bdd
+        relations = []
+        for t, relation, touched, _rename in self.partitioned_relations():
+            parts = [relation]
+            touched_set = set(touched)
+            for v in self.encoding.variables:
+                if v in touched_set:
                     continue
                 same = bdd.apply_not(
                     bdd.apply_xor(bdd.var(v), bdd.var(v + "'")))
@@ -242,19 +528,16 @@ class DenseSymbolicReachability:
         if self._reached is not None:
             return self._reached
         bdd = self.bdd
-        relation = self.transition_relation()
-        current_vars = list(self.encoding.variables)
-        rename_back = {v + "'": v for v in self.encoding.variables}
-        reached = self.marking_to_bdd(self.net.initial_marking)
-        frontier = reached
-        while True:
-            image = bdd.and_exists(frontier, relation, current_vars)
-            image = bdd.rename(image, rename_back)
-            new_reached = bdd.apply_or(reached, image)
-            if new_reached == reached:
-                break
-            frontier = bdd.apply_and(image, bdd.apply_not(reached))
-            reached = new_reached
+        init = self.marking_to_bdd(self.net.initial_marking)
+        if self.relation == "partitioned":
+            reached = _frontier_fixpoint(bdd, init,
+                                         self.partitioned_relations())
+        else:
+            relation = self.transition_relation()
+            rename_back = {v + "'": v for v in self.encoding.variables}
+            monolithic = [("*", relation, list(self.encoding.variables),
+                           rename_back)]
+            reached = _frontier_fixpoint(bdd, init, monolithic)
         self._reached = reached
         return reached
 
@@ -272,6 +555,9 @@ class DenseSymbolicReachability:
         core = self.bdd.exists(self.reachable(), primed)
         return self.bdd.satcount(core) >> len(primed)
 
+    #: Query-style alias: the reachable-code count without enumeration.
+    reachable_count = count
+
     def bdd_size(self) -> int:
         """Node count of the dense reachable-set BDD."""
         return self.bdd.size(self.reachable())
@@ -280,11 +566,12 @@ class DenseSymbolicReachability:
 def symbolic_marking_count(net: PetriNet, encoding: str = "naive") -> int:
     """Convenience: number of reachable markings via symbolic traversal.
 
-    Note that with the dense encoding the count is over *codes*; places
-    sharing code bits may alias if the SM cover's components overlap.
+    Delegates to :func:`repro.bdd.queries.reachable_count` (so non-1-safe
+    nets raise :class:`UnboundedError` rather than being silently
+    miscounted).  Note that with the dense encoding the count is over
+    *codes*; places sharing code bits may alias if the SM cover's
+    components overlap.
     """
-    if encoding == "naive":
-        return SymbolicReachability(net).count()
-    if encoding == "dense":
-        return DenseSymbolicReachability(net).count()
-    raise ModelError("unknown encoding %r" % encoding)
+    from .queries import reachable_count
+
+    return reachable_count(net, encoding=encoding)

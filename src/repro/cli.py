@@ -9,6 +9,8 @@ Usage::
     python -m repro resolve spec.g -o resolved.g
     python -m repro synthesize spec.g --arch cg --verify
     python -m repro synthesize spec.g --decompose --verilog
+    python -m repro sat-check spec.g --property deadlock --induction
+    python -m repro bdd-check spec.g --query csc
     python -m repro dot spec.g
     python -m repro examples --list
 """
@@ -334,6 +336,63 @@ def cmd_sat_check(args) -> int:
     return 1
 
 
+def cmd_bdd_check(args) -> int:
+    """Symbolic BDD fixpoint queries — no state graph (Section 2.2)."""
+    from .bdd import (
+        DenseSymbolicReachability,
+        SymbolicCSC,
+        SymbolicReachability,
+    )
+
+    stg = _load(args.spec)
+    if args.encoding == "dense" and args.query != "count":
+        print("error: --encoding dense is only supported for --query count",
+              file=sys.stderr)
+        return 2
+    net = stg.net
+    if args.reduce:
+        if args.query == "csc":
+            print("error: --reduce applies to net-level queries"
+                  " (count, deadlock) only", file=sys.stderr)
+            return 2
+        net = linear_reduce(net)
+
+    if args.query == "count":
+        if args.encoding == "dense":
+            dense = DenseSymbolicReachability(net)
+            print("reachable codes: %d (dense: %d variables, %d BDD nodes)"
+                  % (dense.count(), dense.encoding.width, dense.bdd_size()))
+        else:
+            sym = SymbolicReachability(net, place_order=args.order)
+            sym.assert_safe()
+            print("reachable markings: %d (%d places, %d BDD nodes)"
+                  % (sym.count(), len(sym.places), sym.bdd_size()))
+        return 0
+
+    if args.query == "deadlock":
+        sym = SymbolicReachability(net, place_order=args.order)
+        dead = sym.find_deadlock()
+        if dead is None:
+            print("deadlock-free: proved by symbolic fixpoint"
+                  " (%d reachable markings)" % sym.count())
+            return 0
+        print("dead marking: %r" % dead)
+        return 1
+
+    # csc
+    analysis = SymbolicCSC(stg, place_order=args.order)
+    if not analysis.has_conflict():
+        print("CSC holds: no two reachable states share a code with"
+              " different non-input excitation")
+        return 0
+    parities = analysis.conflict_parities()
+    print("CSC conflict: %d conflicting code(s) over signals %s"
+          % (len(parities), " ".join(analysis.signals)))
+    for vec in parities:
+        print("  code (xor initial): %s" % "".join(map(str, vec)))
+    return 1
+
+
 def cmd_examples(args) -> int:
     """List the bundled example specifications."""
     for name in sorted(ALL_EXAMPLES):
@@ -441,6 +500,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dimacs", metavar="FILE",
                    help="dump the unrolled CNF in DIMACS format")
     p.set_defaults(func=cmd_sat_check)
+
+    p = sub.add_parser("bdd-check", help="symbolic BDD fixpoint queries"
+                                         " (no state graph)")
+    p.add_argument("spec")
+    p.add_argument("--query", choices=["count", "deadlock", "csc"],
+                   default="count")
+    p.add_argument("--encoding", choices=["naive", "dense"], default="naive",
+                   help="count: state encoding (dense = SM-component codes)")
+    p.add_argument("--order", choices=["dfs", "sorted"], default="dfs",
+                   help="BDD variable-order heuristic")
+    p.add_argument("--reduce", action="store_true",
+                   help="linear-reduce the net first (count/deadlock only)")
+    p.set_defaults(func=cmd_bdd_check)
 
     p = sub.add_parser("examples", help="list bundled specifications")
     p.set_defaults(func=cmd_examples)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..errors import StateExplosionError
+from ..errors import ModelError, StateExplosionError
 from .marking import Marking
 from .net import PetriNet
 from .token_game import enabled_transitions, fire
@@ -117,8 +117,8 @@ def unsafe_witness(net: PetriNet,
 
 def find_deadlocks(net: PetriNet,
                    max_states: int = DEFAULT_STATE_BOUND,
-                   markings: Optional[Iterable[Marking]] = None
-                   ) -> List[Marking]:
+                   markings: Optional[Iterable[Marking]] = None,
+                   engine: str = "explicit") -> List[Marking]:
     """All dead markings (no transition enabled), in one report format.
 
     With the default ``markings=None`` the whole reachability set is
@@ -128,7 +128,23 @@ def find_deadlocks(net: PetriNet,
     ``find_deadlocks(net, markings=[witness.final_marking])`` with a
     :class:`repro.sat.bmc.Witness`) report through the same interface as
     the explicit one.
+
+    ``engine="bdd"`` computes the dead set symbolically instead
+    (:meth:`repro.bdd.symbolic.SymbolicReachability.deadlock_markings`)
+    and enumerates only its members — the reachable set itself is never
+    enumerated, so the answer survives state budgets that kill the
+    explicit exploration.  Requires an ordinary, safely marked net.
     """
+    if engine == "bdd":
+        if markings is not None:
+            raise ModelError("engine='bdd' computes the dead set itself;"
+                             " drop the markings= filter")
+        from ..bdd.symbolic import SymbolicReachability
+
+        return SymbolicReachability(net).deadlock_markings()
+    if engine != "explicit":
+        raise ModelError("unknown engine %r (expected 'explicit' or 'bdd')"
+                         % engine)
     if markings is None:
         graph = explore(net, max_states)
         dead = (m for m, succs in graph.items() if not succs)

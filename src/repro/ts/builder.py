@@ -5,34 +5,46 @@ are markings and whose arcs are labelled with transition names.  For safe
 nets a violation of 1-safeness raises
 :class:`~repro.errors.UnboundedError`.
 
-Two engines are provided:
+This is the hub of the unified engine framework (see ``docs/engines.md``
+for the user guide).  Three **graph-building** engines are provided:
 
 * ``"compiled"`` — the bitvector engine of
   :mod:`repro.petri.compiled`: markings are machine ints, enabling is two
   bitwise ops, and the enabled set is maintained incrementally across
   firings.  Requires an ordinary (weight-1) net and a safe initial
   marking.
+* ``"bdd"`` — the symbolic engine of :mod:`repro.bdd.symbolic`: a
+  partitioned-relation frontier fixpoint first computes the reachable
+  set as a characteristic function (deciding 1-safety and the state
+  budget *before* any enumeration), then materialises it explicitly.
+  Requires an ordinary net and a safe initial marking.
 * ``"naive"`` — the original dict-backed token game; works for any
   weighted net and, with ``require_safe=False``, for k-bounded ones.
 
-``engine="auto"`` (the default) picks the compiled engine whenever it is
-applicable and falls back to the naive one otherwise.  Both engines
-produce **bit-identical** transition systems: the same states, the same
-arcs in the same insertion order (BFS level order, transitions fired in
-sorted name order per state), so every downstream consumer — state-graph
-codes, regions, CSC, synthesis, verification — is oblivious to the choice.
+``engine="auto"`` (the default) delegates to :func:`choose_engine`, which
+picks the compiled engine whenever it is applicable and falls back to the
+naive one otherwise.  All graph-building engines produce **bit-identical**
+transition systems: the same states, the same arcs in the same insertion
+order (BFS level order, transitions fired in sorted name order per
+state), so every downstream consumer — state-graph codes, regions, CSC,
+synthesis, verification — is oblivious to the choice.
 
-A fourth engine name, ``"sat"``, is reserved for the query-based
+The fifth engine name, ``"sat"``, is reserved for the query-based
 verification path of :mod:`repro.sat`: it never builds the graph, so
 requesting it here raises :class:`~repro.errors.ModelError` with a
 pointer to :mod:`repro.sat.queries` (``reach_marking``,
 ``find_deadlock``, ``csc_conflict``, ``prove_deadlock_free``, ...).
+The ``"bdd"`` engine has query variants too
+(:mod:`repro.bdd.queries`: ``reachable_count``, ``find_deadlock``,
+``csc_conflict_chf``) that answer without materialising anything —
+prefer those over graph construction when only the answer is needed.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
+from ..bdd.symbolic import SymbolicReachability
 from ..errors import ModelError, StateExplosionError, UnboundedError
 from ..petri.compiled import compile_net, supports_compilation
 from ..petri.marking import Marking
@@ -43,7 +55,42 @@ from .transition_system import TransitionSystem
 
 DEFAULT_STATE_BOUND = 1_000_000
 
-ENGINES = ("auto", "compiled", "naive", "sat")
+ENGINES = ("auto", "compiled", "naive", "bdd", "sat")
+
+
+def choose_engine(model: Union[PetriNet, STG],
+                  initial: Optional[Marking] = None,
+                  require_safe: bool = True,
+                  purpose: str = "graph") -> str:
+    """The ``engine="auto"`` selection heuristic, exposed for callers.
+
+    ``purpose="graph"`` answers "which engine should *build* the
+    transition system": ``"compiled"`` whenever the net is ordinary with
+    a safe initial marking (markings fit machine ints; ~5-8x faster than
+    the dict token game), else ``"naive"`` (the only engine covering
+    weighted arcs and k-bounded exploration).
+
+    ``purpose="query"`` answers "which engine should answer a question
+    about the state space without materialising it": ``"bdd"``
+    (:mod:`repro.bdd.queries` — exact fixpoint counts, deadlocks, CSC
+    characteristic functions) when the net is ordinary and safely marked,
+    else ``"sat"`` (:mod:`repro.sat.queries` — bounded search and
+    k-induction).  Query engines keep working at sizes where every
+    graph-building engine exceeds its state budget.
+    """
+    net = model.net if isinstance(model, STG) else model
+    if initial is None:
+        initial = net.initial_marking
+    if purpose == "graph":
+        if require_safe and supports_compilation(net, initial):
+            return "compiled"
+        return "naive"
+    if purpose == "query":
+        if net.has_ordinary_arcs() and initial.is_safe():
+            return "bdd"
+        return "sat"
+    raise ModelError("unknown purpose %r (expected 'graph' or 'query')"
+                     % purpose)
 
 
 def build_reachability_graph(model: Union[PetriNet, STG],
@@ -56,37 +103,42 @@ def build_reachability_graph(model: Union[PetriNet, STG],
     Arc labels are transition names (for an STG these are the canonical
     event strings such as ``"LDS+"`` or ``"LDS+/2"``).
 
-    ``engine`` selects the exploration engine (``"auto"``, ``"compiled"``
-    or ``"naive"``); see the module docstring.  Requesting the compiled
-    engine for a model outside its domain raises :class:`ModelError`.
+    ``engine`` selects the exploration engine: ``"auto"``, ``"compiled"``,
+    ``"naive"`` or ``"bdd"`` build the graph (bit-identically); ``"sat"``
+    is query-only and raises with a pointer to :mod:`repro.sat.queries`.
+    See the module docstring and ``docs/engines.md``.  Requesting the
+    compiled or bdd engine for a model outside its domain raises
+    :class:`ModelError`.
     """
     net = model.net if isinstance(model, STG) else model
     if initial is None:
         initial = net.initial_marking
     if engine == "auto":
-        use_compiled = require_safe and supports_compilation(net, initial)
-    elif engine == "compiled":
+        engine = choose_engine(net, initial, require_safe=require_safe)
+    if engine == "compiled":
         if not require_safe:
             raise ModelError(
                 "compiled engine only explores safe state spaces"
                 " (require_safe=False needs engine='naive')")
-        use_compiled = True
-    elif engine == "naive":
-        use_compiled = False
-    elif engine == "sat":
+        return _build_compiled(net, initial, max_states)
+    if engine == "naive":
+        return _build_naive(net, initial, max_states, require_safe)
+    if engine == "bdd":
+        if not require_safe:
+            raise ModelError(
+                "bdd engine only explores safe state spaces"
+                " (require_safe=False needs engine='naive')")
+        return _build_bdd(net, initial, max_states)
+    if engine == "sat":
         # the SAT engine answers *queries*, it never materialises the
         # graph — asking it for the full graph is a usage error
         raise ModelError(
             "engine='sat' answers targeted queries without building the"
             " reachability graph; use repro.sat.queries (reach_marking,"
-            " find_deadlock, csc_conflict, ...) instead of"
-            " build_reachability_graph")
-    else:
-        raise ModelError(
-            "unknown engine %r (expected one of %s)" % (engine, ENGINES))
-    if use_compiled:
-        return _build_compiled(net, initial, max_states)
-    return _build_naive(net, initial, max_states, require_safe)
+            " find_deadlock, csc_conflict, ...) or repro.bdd.queries"
+            " instead of build_reachability_graph")
+    raise ModelError(
+        "unknown engine %r (expected one of %s)" % (engine, ENGINES))
 
 
 def _build_compiled(net: PetriNet, initial: Marking,
@@ -141,6 +193,13 @@ def _build_compiled(net: PetriNet, initial: Marking,
         for code, arcs in arcs_of.items()
     }
     return TransitionSystem.from_adjacency(marking_of[root], adjacency)
+
+
+def _build_bdd(net: PetriNet, initial: Marking,
+               max_states: int) -> TransitionSystem:
+    """Symbolic fixpoint first, explicit materialisation second."""
+    sym = SymbolicReachability(net, initial=initial)
+    return sym.to_transition_system(max_states)
 
 
 def _build_naive(net: PetriNet, initial: Marking, max_states: int,

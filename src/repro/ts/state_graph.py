@@ -249,8 +249,10 @@ def build_state_graph(stg: STG,
     Raises :class:`~repro.errors.UnboundedError` for non-safe STGs
     (pass ``require_safe=False`` for k-bounded nets, e.g. after dummy
     contraction) and :class:`~repro.errors.ConsistencyError` for
-    inconsistent ones.  ``engine`` selects the reachability engine (see
-    :func:`~repro.ts.builder.build_reachability_graph`).
+    inconsistent ones.  ``engine`` selects the reachability engine —
+    ``"auto"``, ``"compiled"``, ``"naive"`` or ``"bdd"`` all yield the
+    same graph, while the query-only ``"sat"`` engine raises; see
+    :func:`~repro.ts.builder.build_reachability_graph`.
     """
     ts = build_reachability_graph(stg, max_states=max_states,
                                   require_safe=require_safe, engine=engine)

@@ -144,3 +144,44 @@ def test_satcount_matches_enumeration(e):
     )
     assert bdd.satcount(f) == expected
     assert len(list(bdd.sat_all(f))) == expected
+
+
+@given(exprs)
+@settings(max_examples=40, deadline=None)
+def test_pick_returns_satisfying_assignment(e):
+    bdd = BDD(NAMES)
+    x = parse_expr(e)
+    f = build(bdd, x)
+    if f == FALSE:
+        with pytest.raises(Exception):
+            bdd.pick(f)
+        return
+    env = bdd.pick(f, NAMES)
+    assert set(env) == set(NAMES)
+    assert bdd.eval(f, env) == TRUE
+
+
+@given(exprs)
+@settings(max_examples=40, deadline=None)
+def test_sat_over_matches_projection(e):
+    bdd = BDD(NAMES)
+    x = parse_expr(e)
+    g = bdd.exists(build(bdd, x), ["b"])
+    names = ["a", "c"]
+    got = {(a["a"], a["c"]) for a in bdd.sat_over(g, names)}
+    expected = {
+        (va, vc)
+        for va, vc in itertools.product((0, 1), repeat=2)
+        if max(x.eval({"a": va, "b": 0, "c": vc}),
+               x.eval({"a": va, "b": 1, "c": vc}))
+    }
+    assert got == expected
+
+
+def test_sat_over_rejects_hidden_dependencies():
+    from repro.errors import ModelError
+
+    bdd = BDD(NAMES)
+    f = bdd.var("b")
+    with pytest.raises(ModelError):
+        list(bdd.sat_over(f, ["a", "c"]))

@@ -115,6 +115,43 @@ class TestNewCommands:
         assert "estimated cycle time" in out
 
 
+class TestBddCheck:
+    def test_count(self, spec_file, capsys):
+        assert main(["bdd-check", spec_file]) == 0
+        assert "reachable markings: 14" in capsys.readouterr().out
+
+    def test_count_dense_reduced(self, capsys):
+        assert main(["bdd-check", "vme_read_write", "--query", "count",
+                     "--encoding", "dense", "--reduce"]) == 0
+        assert "reachable codes:" in capsys.readouterr().out
+
+    def test_deadlock_free_proof(self, spec_file, capsys):
+        assert main(["bdd-check", spec_file, "--query", "deadlock"]) == 0
+        assert "proved by symbolic fixpoint" in capsys.readouterr().out
+
+    def test_csc_conflict_found(self, spec_file, capsys):
+        assert main(["bdd-check", spec_file, "--query", "csc"]) == 1
+        out = capsys.readouterr().out
+        assert "CSC conflict" in out
+        assert "code (xor initial):" in out
+
+    def test_csc_clean_example(self, capsys):
+        assert main(["bdd-check", "vme_read_csc", "--query", "csc"]) == 0
+        assert "CSC holds" in capsys.readouterr().out
+
+    def test_sorted_order_variant(self, spec_file, capsys):
+        assert main(["bdd-check", spec_file, "--order", "sorted"]) == 0
+        assert "reachable markings: 14" in capsys.readouterr().out
+
+    def test_dense_restricted_to_count(self, spec_file, capsys):
+        assert main(["bdd-check", spec_file, "--query", "csc",
+                     "--encoding", "dense"]) == 2
+
+    def test_reduce_restricted_to_net_queries(self, spec_file, capsys):
+        assert main(["bdd-check", spec_file, "--query", "csc",
+                     "--reduce"]) == 2
+
+
 class TestSatCheck:
     def test_deadlock_bounded(self, spec_file, capsys):
         assert main(["sat-check", spec_file, "--bound", "8"]) == 0

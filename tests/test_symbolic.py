@@ -105,3 +105,88 @@ def test_symbolic_marking_count_dispatch():
     assert symbolic_marking_count(net, "naive") == 4
     with pytest.raises(ModelError):
         symbolic_marking_count(net, "magic")
+
+
+class TestRelationStyles:
+    """Partitioned frontier image vs the paper's monolithic relation."""
+
+    @pytest.mark.parametrize("name,maker", ALL_NETS)
+    def test_partitioned_and_monolithic_fixpoints_agree(self, name, maker):
+        net = maker()
+        partitioned = SymbolicReachability(net, relation="partitioned")
+        monolithic = SymbolicReachability(net, relation="monolithic")
+        assert partitioned.count() == monolithic.count()
+
+    def test_dense_styles_agree(self):
+        red = linear_reduce(vme_read_write().net)
+        assert DenseSymbolicReachability(red, relation="partitioned").count() \
+            == DenseSymbolicReachability(red, relation="monolithic").count()
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ModelError):
+            SymbolicReachability(vme_read().net, relation="magic")
+
+
+class TestMaterialisation:
+    def test_to_transition_system_matches_naive_engine(self):
+        from repro.ts import build_reachability_graph
+
+        stg = vme_read()
+        reference = build_reachability_graph(stg, engine="naive")
+        ts = SymbolicReachability(stg.net).to_transition_system()
+        assert ts.states == reference.states
+        assert list(ts.arcs()) == list(reference.arcs())
+
+    def test_budget_raises_before_enumeration(self):
+        from repro.errors import StateExplosionError
+
+        sym = SymbolicReachability(parallel_handshakes(4).net)
+        with pytest.raises(StateExplosionError):
+            sym.to_transition_system(max_states=10)
+
+    def test_safety_violation_witness(self):
+        from repro.petri import PetriNet
+
+        net = PetriNet("unsafe")
+        net.add_place("p", tokens=1)
+        net.add_place("q", tokens=1)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        violation = SymbolicReachability(net).safety_violation()
+        assert violation is not None
+        transition, marking = violation
+        assert transition == "t"
+        assert marking.get("p") and marking.get("q")
+        assert SymbolicReachability(vme_read().net).safety_violation() is None
+
+    def test_safety_witness_is_reachable_in_real_token_game(self):
+        """The witness marking must exist in the uncapped token game, not
+        merely in the token-capped symbolic semantics: here 'a' only
+        becomes unsafe-looking in capped-only states past the real
+        violation at the initial marking, and must not be blamed."""
+        from repro.petri import Marking, PetriNet
+
+        net = PetriNet("capped")
+        net.add_place("x", tokens=1)
+        net.add_place("m", tokens=1)
+        net.add_place("w")
+        net.add_transition("z")
+        net.add_arc("x", "z")
+        net.add_arc("z", "m")
+        net.add_arc("z", "w")
+        net.add_transition("a")
+        net.add_arc("w", "a")
+        net.add_arc("a", "m")
+        violation = SymbolicReachability(net).safety_violation()
+        assert violation == ("z", Marking({"x": 1, "m": 1}))
+
+    def test_initial_marking_validation(self):
+        from repro.petri import Marking
+
+        net = vme_read().net
+        with pytest.raises(ModelError):
+            SymbolicReachability(net, initial=Marking({"nope": 1}))
+        with pytest.raises(ModelError):
+            p = sorted(net.places)[0]
+            SymbolicReachability(net, initial=Marking({p: 2}))
