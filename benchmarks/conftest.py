@@ -4,7 +4,18 @@ Every benchmark regenerates one artifact of the paper (a figure or an
 in-text table), asserts that its *shape* matches what the paper reports,
 and times the computation with pytest-benchmark.  EXPERIMENTS.md records
 the paper-vs-measured comparison for each.
+
+A timed run additionally writes one ``BENCH_<suite>.json`` per
+benchmarked module (schema ``repro-bench/1``, see
+:mod:`repro.obs.schema`) next to the invocation directory — the
+machine-readable counterpart of pytest-benchmark's terminal table, and
+the artifact CI uploads per run.  The files are gitignored; a
+``--benchmark-disable`` smoke pass records no timings and writes
+nothing.
 """
+
+import json
+import os
 
 import pytest
 
@@ -12,6 +23,43 @@ import pytest
 def pytest_configure(config):
     config.addinivalue_line("markers",
                             "paper(artifact): the paper artifact reproduced")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write per-suite ``BENCH_<suite>.json`` benchmark reports.
+
+    One file per benchmarked test module, named after the module stem,
+    each a single ``repro-bench/1`` document: suite name plus one row
+    (name, group, mean/stddev seconds, rounds) per benchmark, sorted by
+    name so identical runs produce byte-stable files.  Skipped when no
+    timings exist (``--benchmark-disable``, collection errors).
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    suites = {}
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None or not getattr(stats, "rounds", 0):
+            continue
+        module = bench.fullname.split("::")[0]
+        suite = os.path.splitext(os.path.basename(module))[0]
+        suites.setdefault(suite, []).append({
+            "name": bench.name,
+            "group": bench.group,
+            "mean_s": stats.mean,
+            "stddev_s": stats.stddev,
+            "rounds": stats.rounds,
+        })
+    for suite, rows in sorted(suites.items()):
+        document = {
+            "schema": "repro-bench/1",
+            "suite": suite,
+            "benchmarks": sorted(rows, key=lambda r: r["name"]),
+        }
+        with open("BENCH_%s.json" % suite, "w") as f:
+            json.dump(document, f, indent=2, sort_keys=True)
+            f.write("\n")
 
 
 PAPER_SIGNAL_ORDER = ["DSr", "DTACK", "LDTACK", "LDS", "D"]

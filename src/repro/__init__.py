@@ -41,7 +41,10 @@ The library covers the whole flow of the paper:
 * :mod:`repro.timing` — relative timing, time separation of events,
   performance analysis (Section 5, Figure 11);
 * :mod:`repro.burstmode` — burst-mode machines with exact Nowick-Dill
-  hazard-free two-level minimization (Sections 3.3 and 6).
+  hazard-free two-level minimization (Sections 3.3 and 6);
+* :mod:`repro.obs` — zero-dependency instrumentation: spans, counters,
+  gauges, JSONL traces and machine-readable run reports across every
+  engine (enable with ``REPRO_TRACE=1`` or ``repro.obs.enable()``).
 
 Quick start::
 
@@ -54,7 +57,7 @@ Quick start::
     assert report.ok
 """
 
-from . import analysis, bdd, boolmin, burstmode, petri, procalg, regions, sat, stg, synth, tech, timing, ts, unfold, verify
+from . import analysis, bdd, boolmin, burstmode, obs, petri, procalg, regions, sat, stg, synth, tech, timing, ts, unfold, verify
 from .errors import (
     CSCError,
     ConsistencyError,
@@ -71,7 +74,7 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "analysis", "bdd", "boolmin", "burstmode", "petri", "procalg", "regions", "sat", "stg", "synth",
+    "analysis", "bdd", "boolmin", "burstmode", "obs", "petri", "procalg", "regions", "sat", "stg", "synth",
     "tech", "timing", "ts", "unfold", "verify",
     "CSCError", "ConsistencyError", "ModelError", "ParseError",
     "PersistencyError", "ReproError", "StateExplosionError",

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..errors import ConsistencyError, UnboundedError
 from ..stg.signals import SignalEvent
 from ..stg.stg import STG
@@ -252,21 +253,34 @@ def check_implementability(stg: STG,
     single-question analyses instead.
     """
     report = ImplementabilityReport(stg_name=stg.name)
-    try:
-        sg = build_state_graph(stg, max_states=max_states, engine=engine)
-    except UnboundedError as exc:
-        report.bounded = False
-        report.consistency_error = str(exc)
-        return report
-    except ConsistencyError as exc:
+    with obs.span("analysis.implementability", stg=stg.name,
+                  engine=engine) as span:
+        try:
+            sg = build_state_graph(stg, max_states=max_states,
+                                   engine=engine)
+        except UnboundedError as exc:
+            report.bounded = False
+            report.consistency_error = str(exc)
+            span.annotate(verdict="unbounded")
+            return report
+        except ConsistencyError as exc:
+            report.bounded = True
+            report.consistent = False
+            report.consistency_error = str(exc)
+            span.annotate(verdict="inconsistent")
+            return report
         report.bounded = True
-        report.consistent = False
-        report.consistency_error = str(exc)
-        return report
-    report.bounded = True
-    report.consistent = True
-    report.states = len(sg)
-    report.usc_conflicts = usc_conflicts(sg)
-    report.csc_conflicts = csc_conflicts(sg)
-    report.persistency_violations = persistency_violations(sg)
+        report.consistent = True
+        report.states = len(sg)
+        report.usc_conflicts = usc_conflicts(sg)
+        report.csc_conflicts = csc_conflicts(sg)
+        report.persistency_violations = persistency_violations(sg)
+        span.add("states", report.states)
+        span.add("usc_conflicts", len(report.usc_conflicts))
+        span.add("csc_conflicts", len(report.csc_conflicts))
+        span.add("persistency_violations",
+                 len(report.persistency_violations))
+        span.annotate(
+            verdict="implementable" if report.implementable
+            else "not-implementable")
     return report

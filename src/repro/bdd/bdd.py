@@ -40,6 +40,27 @@ class BDD:
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._quant_cache: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        # work counters (read via stats()): non-terminal ite computations
+        # and how many were answered from the memo cache
+        self.ite_lookups = 0
+        self.ite_hits = 0
+
+    def stats(self) -> Dict[str, float]:
+        """Work counters of the manager as a plain dict (stable keys).
+
+        ``nodes`` is the total node-table size — nodes are never freed,
+        so this *is* the peak; ``ite_lookups``/``ite_hits`` count
+        non-terminal ``ite`` computations and their memo-cache hits, and
+        ``cache_hit_rate`` is their ratio (0.0 before any lookup).  The
+        observability layer snapshots these around every traversal.
+        """
+        return {
+            "nodes": len(self._nodes),
+            "ite_lookups": self.ite_lookups,
+            "ite_hits": self.ite_hits,
+            "cache_hit_rate": (self.ite_hits / self.ite_lookups
+                               if self.ite_lookups else 0.0),
+        }
 
     # ------------------------------------------------------------------ #
     # node construction
@@ -108,8 +129,10 @@ class BDD:
         if g == TRUE and h == FALSE:
             return f
         key = (f, g, h)
+        self.ite_lookups += 1
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self.ite_hits += 1
             return cached
         level = min(self.level(f), self.level(g), self.level(h))
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
+from .. import obs
 from ..errors import ModelError
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
@@ -38,6 +39,7 @@ from .symbolic import (
     marking_relation_parts,
     raise_unsafe,
     structural_place_order,
+    traced_traversal,
 )
 
 Model = Union[PetriNet, STG]
@@ -168,7 +170,11 @@ class SymbolicCSC:
         for s in self.signals:
             init_cube[self.parity_var[s]] = 0
         init = self.bdd.from_cube(init_cube)
-        reached = _frontier_fixpoint(self.bdd, init, self._relations())
+        reached = traced_traversal(
+            "bdd.fixpoint", self.bdd,
+            lambda: _frontier_fixpoint(self.bdd, init, self._relations()),
+            engine="bdd", net=self.net.name, query="csc",
+            signals=len(self.signals))
         clash = find_safety_clash(self.bdd, self.net, reached, self.places)
         if clash is not None:
             t, assignment = clash
@@ -215,18 +221,23 @@ class SymbolicCSC:
             return self._chf
         bdd = self.bdd
         reached = self.reachable()
-        chf = FALSE
-        noninput = [s for s in self.signals
-                    if self.stg.type_of(s).is_noninput]
-        for signal in noninput:
-            for direction in (RISE, FALL):
-                excited = self.excitation(signal, direction)
-                some = bdd.exists(bdd.apply_and(reached, excited),
-                                  self.places)
-                none = bdd.exists(
-                    bdd.apply_and(reached, bdd.apply_not(excited)),
-                    self.places)
-                chf = bdd.apply_or(chf, bdd.apply_and(some, none))
+        with obs.span("bdd.csc", engine="bdd",
+                      net=self.net.name) as span:
+            chf = FALSE
+            noninput = [s for s in self.signals
+                        if self.stg.type_of(s).is_noninput]
+            for signal in noninput:
+                for direction in (RISE, FALL):
+                    span.add("excitation_checks")
+                    excited = self.excitation(signal, direction)
+                    some = bdd.exists(bdd.apply_and(reached, excited),
+                                      self.places)
+                    none = bdd.exists(
+                        bdd.apply_and(reached, bdd.apply_not(excited)),
+                        self.places)
+                    chf = bdd.apply_or(chf, bdd.apply_and(some, none))
+            span.annotate(conflict=chf != FALSE)
+            span.set_gauge("peak_nodes", bdd.node_count())
         self._chf = chf
         return chf
 

@@ -39,8 +39,9 @@ function ... until the fixed point is reached") is kept as
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..errors import ModelError, StateExplosionError, UnboundedError
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
@@ -145,7 +146,9 @@ def _frontier_fixpoint(bdd: BDD, init: int,
     """
     reached = init
     frontier = init
+    iterations = 0
     while frontier != FALSE:
+        iterations += 1
         parts = []
         for _name, relation, current, rename_back in partitioned:
             part = bdd.and_exists(frontier, relation, current)
@@ -155,7 +158,40 @@ def _frontier_fixpoint(bdd: BDD, init: int,
         image = bdd.disj(parts)
         frontier = bdd.apply_and(image, bdd.apply_not(reached))
         reached = bdd.apply_or(reached, image)
+    # one call per fixpoint: attaches to the enclosing traversal span
+    # (no-op when the obs layer is disabled or no span is active)
+    obs.add("image_iterations", iterations)
     return reached
+
+
+def traced_traversal(name: str, bdd: BDD, compute: Callable[[], int],
+                     **tags) -> int:
+    """Run one symbolic traversal under an observability span.
+
+    Wraps ``compute()`` in an :func:`repro.obs.span` named ``name`` and
+    snapshots the manager's work counters around it: the per-traversal
+    ``ite_lookups`` / ``ite_hits`` deltas, the resulting
+    ``cache_hit_rate``, and the ``peak_nodes`` gauge (the node table
+    only grows, so its size is the peak).  The fixpoint's
+    ``image_iterations`` counter lands on the same span via
+    :func:`repro.obs.add`.  Disabled, this is a single boolean check
+    plus the plain ``compute()`` call.
+    """
+    if not obs.enabled():
+        return compute()
+    lookups = bdd.ite_lookups
+    hits = bdd.ite_hits
+    with obs.span(name, **tags) as span:
+        result = compute()
+        d_lookups = bdd.ite_lookups - lookups
+        d_hits = bdd.ite_hits - hits
+        span.add("ite_lookups", d_lookups)
+        span.add("ite_hits", d_hits)
+        span.set_gauge("cache_hit_rate",
+                       d_hits / d_lookups if d_lookups else 0.0)
+        span.set_gauge("peak_nodes", bdd.node_count())
+        span.set_gauge("result_nodes", bdd.size(result))
+    return result
 
 
 class SymbolicReachability:
@@ -263,16 +299,22 @@ class SymbolicReachability:
         """BDD over the current-state variables of all reachable markings."""
         if self._reached is not None:
             return self._reached
-        bdd = self.bdd
-        init = self.marking_to_bdd(self.initial)
-        if self.relation == "partitioned":
-            reached = _frontier_fixpoint(bdd, init,
-                                         self.partitioned_relations())
-        else:
+
+        def compute() -> int:
+            bdd = self.bdd
+            init = self.marking_to_bdd(self.initial)
+            if self.relation == "partitioned":
+                return _frontier_fixpoint(bdd, init,
+                                          self.partitioned_relations())
             relation = self.transition_relation()
             rename_back = {p + "'": p for p in self.places}
             monolithic = [("*", relation, list(self.places), rename_back)]
-            reached = _frontier_fixpoint(bdd, init, monolithic)
+            return _frontier_fixpoint(bdd, init, monolithic)
+
+        reached = traced_traversal(
+            "bdd.fixpoint", self.bdd, compute, engine="bdd",
+            net=self.net.name, encoding="naive", relation=self.relation,
+            places=len(self.places))
         self._reached = reached
         return reached
 
@@ -353,7 +395,11 @@ class SymbolicReachability:
             return self._violation
         bdd = self.bdd
         init = self.marking_to_bdd(self.initial)
-        safe_reached = _frontier_fixpoint(bdd, init, self._relations(safe=True))
+        safe_reached = traced_traversal(
+            "bdd.safety", bdd,
+            lambda: _frontier_fixpoint(bdd, init,
+                                       self._relations(safe=True)),
+            engine="bdd", net=self.net.name)
         clash = find_safety_clash(bdd, self.net, safe_reached, self.places)
         if clash is None:
             self._violation = None
@@ -527,17 +573,23 @@ class DenseSymbolicReachability:
         """BDD of reachable codes over the dense current-state variables."""
         if self._reached is not None:
             return self._reached
-        bdd = self.bdd
-        init = self.marking_to_bdd(self.net.initial_marking)
-        if self.relation == "partitioned":
-            reached = _frontier_fixpoint(bdd, init,
-                                         self.partitioned_relations())
-        else:
+
+        def compute() -> int:
+            bdd = self.bdd
+            init = self.marking_to_bdd(self.net.initial_marking)
+            if self.relation == "partitioned":
+                return _frontier_fixpoint(bdd, init,
+                                          self.partitioned_relations())
             relation = self.transition_relation()
             rename_back = {v + "'": v for v in self.encoding.variables}
             monolithic = [("*", relation, list(self.encoding.variables),
                            rename_back)]
-            reached = _frontier_fixpoint(bdd, init, monolithic)
+            return _frontier_fixpoint(bdd, init, monolithic)
+
+        reached = traced_traversal(
+            "bdd.fixpoint", self.bdd, compute, engine="bdd",
+            net=self.net.name, encoding="dense", relation=self.relation,
+            bits=self.encoding.width)
         self._reached = reached
         return reached
 

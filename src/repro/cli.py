@@ -10,9 +10,16 @@ Usage::
     python -m repro synthesize spec.g --arch cg --verify
     python -m repro synthesize spec.g --decompose --verilog
     python -m repro sat-check spec.g --property deadlock --induction
+    python -m repro sat-check spec.g --property csc --json
     python -m repro bdd-check spec.g --query csc
+    python -m repro bdd-check spec.g --query count --stats --trace run.jsonl
     python -m repro dot spec.g
     python -m repro examples --list
+
+Observability: ``--stats`` prints a per-span table to stderr,
+``--trace FILE`` streams span records as JSONL, and (on ``sat-check`` /
+``bdd-check``) ``--json`` replaces the human output with a versioned
+machine-readable run report — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import json
 import sys
 from typing import List, Optional
 
+from . import obs
 from .analysis import check_implementability
 from .errors import ReproError
 from .petri import linear_reduce, net_to_dot, p_invariants, sm_components
@@ -44,10 +52,71 @@ def _load(path: str):
     return load_g(path)
 
 
+class _Telemetry:
+    """Arms :mod:`repro.obs` for one CLI command run.
+
+    Driven by the ``--stats`` / ``--trace FILE`` / ``--json`` flags
+    (absent flags read as off, so commands can wrap their body
+    unconditionally).  While active the layer is enabled, a
+    :class:`~repro.obs.sinks.MemorySink` collects records for the
+    ``--stats`` table and the ``--json`` run report, and ``--trace``
+    streams records to a JSONL file.  On exit the previous enabled
+    state and sink set are restored — an ambient ``REPRO_TRACE=1``
+    session is left exactly as found — and the ``--stats`` table, if
+    requested, is printed to stderr (stdout stays reserved for the
+    command's own output).
+    """
+
+    def __init__(self, args):
+        self.stats = bool(getattr(args, "stats", False))
+        self.trace = getattr(args, "trace", None)
+        self.json = bool(getattr(args, "json", False))
+        self.active = self.stats or self.json or bool(self.trace)
+        self.sink: Optional[obs.MemorySink] = None
+        self._jsonl: Optional[obs.JsonlSink] = None
+        self._was_enabled = False
+
+    def __enter__(self) -> "_Telemetry":
+        if self.active:
+            self._was_enabled = obs.enabled()
+            obs.enable()
+            self.sink = obs.add_sink(obs.MemorySink())
+            if self.trace:
+                self._jsonl = obs.add_sink(obs.JsonlSink(self.trace))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.active:
+            return None
+        if self._jsonl is not None:
+            obs.remove_sink(self._jsonl)
+            self._jsonl.close()
+        obs.remove_sink(self.sink)
+        obs.enable(self._was_enabled)
+        if self.stats:
+            print(obs.report(self.sink), file=sys.stderr)
+        return None
+
+    def run_report(self, command: str, spec: str, verdict: str,
+                   exit_code: int, details: dict) -> dict:
+        """The ``--json`` document (``repro-run-report/1``): command,
+        verdict and per-span aggregates of this run."""
+        return {
+            "schema": obs.REPORT_SCHEMA,
+            "command": command,
+            "spec": spec,
+            "verdict": verdict,
+            "exit_code": exit_code,
+            "details": details,
+            "stats": self.sink.stats() if self.sink is not None else {},
+        }
+
+
 def cmd_analyze(args) -> int:
     """Implementability report (Section 2)."""
     stg = _load(args.spec)
-    report = check_implementability(stg)
+    with _Telemetry(args):
+        report = check_implementability(stg)
     print(report.summary())
     if args.verbose:
         for c in report.csc_conflicts:
@@ -60,7 +129,8 @@ def cmd_analyze(args) -> int:
 def cmd_states(args) -> int:
     """Binary-coded state graph listing (Figure 4 style)."""
     stg = _load(args.spec)
-    sg = build_state_graph(stg)
+    with _Telemetry(args):
+        sg = build_state_graph(stg)
     print("# %d states, signals: %s" % (len(sg), " ".join(sg.signal_order)))
     for state in sg.states:
         print("%-30s %s" % (state, sg.code_str(state)))
@@ -77,7 +147,8 @@ def cmd_waveform(args) -> int:
 def cmd_reduce(args) -> int:
     """Linear reductions, invariants and SM components (Figure 6)."""
     stg = _load(args.spec)
-    reduced = linear_reduce(stg.net)
+    with _Telemetry(args):
+        reduced = linear_reduce(stg.net)
     print("# original: %s" % stg.net.stats())
     print("# reduced:  %s" % reduced.stats())
     for inv in p_invariants(reduced):
@@ -113,6 +184,12 @@ _ARCHITECTURES = {
 def cmd_synthesize(args) -> int:
     """Logic synthesis, optionally decomposed and verified (Section 3)."""
     stg = _load(args.spec)
+    with _Telemetry(args):
+        return _synthesize(args, stg)
+
+
+def _synthesize(args, stg) -> int:
+    """The ``synthesize`` flow body (run under the command telemetry)."""
     resolved = resolve_csc(stg)
     if resolved.internal and resolved is not stg:
         print("# CSC resolved by inserting: %s"
@@ -240,9 +317,14 @@ def _sat_check_cnf(stg, prop: str, bound: int, target=None, cover=False):
     return encoding.cnf
 
 
-def cmd_sat_check(args) -> int:
-    """SAT-based bounded model checking / k-induction (no state graph)."""
-    from .petri import Marking, find_deadlocks
+def _sat_check_verdict(args, stg, target):
+    """Run one ``sat-check`` query.
+
+    Returns ``(verdict, exit_code, details, lines)``: a stable verdict
+    string and a details dict for the ``--json`` run report, plus the
+    human-readable output lines (printed unless ``--json``).
+    """
+    from .petri import find_deadlocks
     from .sat import (
         consistency_violation,
         csc_conflict,
@@ -251,6 +333,73 @@ def cmd_sat_check(args) -> int:
         reach_marking,
     )
     from .sat.kinduction import Proved, Refuted
+
+    if args.property == "deadlock":
+        if args.induction:
+            outcome = prove_deadlock_free(stg, max_k=args.bound)
+            if isinstance(outcome, Proved):
+                return ("proved", 0, {"k": outcome.k},
+                        ["deadlock-free: proved by %d-induction"
+                         % outcome.k])
+            if isinstance(outcome, Refuted):
+                w = outcome.witness
+                dead = find_deadlocks(stg.net,
+                                      markings=[w.final_marking])[0]
+                return ("refuted", 1,
+                        {"k": outcome.k, "trace": list(w.transitions),
+                         "dead_marking": {p: n for p, n in dead.items()}},
+                        ["deadlock reachable: %s" % " ".join(w.transitions),
+                         "dead marking: %r" % dead])
+            return ("unknown", 1, {"k": outcome.k},
+                    ["unknown at k=%d (raise --bound)" % outcome.k])
+        witness = find_deadlock(stg, bound=args.bound)
+        if witness is None:
+            return ("no-deadlock", 0, {},
+                    ["no deadlock within %d steps" % args.bound])
+        dead = find_deadlocks(stg.net, markings=[witness.final_marking])[0]
+        return ("deadlock", 1,
+                {"trace": list(witness.transitions),
+                 "dead_marking": {p: n for p, n in dead.items()}},
+                ["deadlock reachable: %s" % " ".join(witness.transitions),
+                 "dead marking: %r" % dead])
+
+    if args.property == "reach":
+        witness = reach_marking(stg, target, bound=args.bound,
+                                partial=args.cover)
+        if witness is None:
+            return ("unreachable", 0, {},
+                    ["target not reachable within %d steps" % args.bound])
+        return ("reached", 1,
+                {"trace": list(witness.transitions),
+                 "final_marking": {p: n for p, n
+                                   in witness.final_marking.items()}},
+                ["reached %r via: %s" % (witness.final_marking,
+                                         " ".join(witness.transitions))])
+
+    if args.property == "csc":
+        conflict = csc_conflict(stg, bound=args.bound)
+        if conflict is None:
+            return ("no-conflict", 0, {},
+                    ["no CSC conflict within %d steps" % args.bound])
+        return ("conflict", 1,
+                {"trace_a": list(conflict.trace_a.transitions),
+                 "trace_b": list(conflict.trace_b.transitions)},
+                [str(conflict),
+                 "trace a: %s" % " ".join(conflict.trace_a.transitions),
+                 "trace b: %s" % " ".join(conflict.trace_b.transitions)])
+
+    # consistency
+    witness = consistency_violation(stg, bound=args.bound)
+    if witness is None:
+        return ("consistent", 0, {},
+                ["no consistency violation within %d steps" % args.bound])
+    return ("violation", 1, {"trace": list(witness.transitions)},
+            ["consistency violation: %s" % " ".join(witness.transitions)])
+
+
+def cmd_sat_check(args) -> int:
+    """SAT-based bounded model checking / k-induction (no state graph)."""
+    from .petri import Marking
 
     stg = _load(args.spec)
 
@@ -268,6 +417,7 @@ def cmd_sat_check(args) -> int:
             return 2
         target = Marking({p: 1 for p in args.target.split()})
 
+    lines: List[str] = []
     if args.dimacs:
         cnf = _sat_check_cnf(stg, args.property, args.bound,
                              target=target, cover=args.cover)
@@ -280,117 +430,116 @@ def cmd_sat_check(args) -> int:
                             " induction step not included")
         with open(args.dimacs, "w") as f:
             f.write(cnf.to_dimacs(comments=comments))
-        print("# wrote %s (%d vars, %d clauses%s)"
-              % (args.dimacs, cnf.num_vars, len(cnf.clauses),
-                 ", base case only" if args.induction else ""))
+        lines.append("# wrote %s (%d vars, %d clauses%s)"
+                     % (args.dimacs, cnf.num_vars, len(cnf.clauses),
+                        ", base case only" if args.induction else ""))
 
-    if args.property == "deadlock":
-        if args.induction:
-            verdict = prove_deadlock_free(stg, max_k=args.bound)
-            if isinstance(verdict, Proved):
-                print("deadlock-free: proved by %d-induction" % verdict.k)
-                return 0
-            if isinstance(verdict, Refuted):
-                w = verdict.witness
-                print("deadlock reachable: %s" % " ".join(w.transitions))
-                print("dead marking: %r" % find_deadlocks(
-                    stg.net, markings=[w.final_marking])[0])
-                return 1
-            print("unknown at k=%d (raise --bound)" % verdict.k)
-            return 1
-        witness = find_deadlock(stg, bound=args.bound)
-        if witness is None:
-            print("no deadlock within %d steps" % args.bound)
-            return 0
-        print("deadlock reachable: %s" % " ".join(witness.transitions))
-        print("dead marking: %r" % find_deadlocks(
-            stg.net, markings=[witness.final_marking])[0])
-        return 1
-
-    if args.property == "reach":
-        witness = reach_marking(stg, target, bound=args.bound,
-                                partial=args.cover)
-        if witness is None:
-            print("target not reachable within %d steps" % args.bound)
-            return 0
-        print("reached %r via: %s"
-              % (witness.final_marking, " ".join(witness.transitions)))
-        return 1
-
-    if args.property == "csc":
-        conflict = csc_conflict(stg, bound=args.bound)
-        if conflict is None:
-            print("no CSC conflict within %d steps" % args.bound)
-            return 0
-        print(conflict)
-        print("trace a: %s" % " ".join(conflict.trace_a.transitions))
-        print("trace b: %s" % " ".join(conflict.trace_b.transitions))
-        return 1
-
-    # consistency
-    witness = consistency_violation(stg, bound=args.bound)
-    if witness is None:
-        print("no consistency violation within %d steps" % args.bound)
-        return 0
-    print("consistency violation: %s" % " ".join(witness.transitions))
-    return 1
+    with _Telemetry(args) as tel:
+        verdict, code, details, qlines = _sat_check_verdict(args, stg,
+                                                            target)
+    lines.extend(qlines)
+    if args.json:
+        details = dict(details, property=args.property, bound=args.bound)
+        if args.dimacs:
+            details["dimacs"] = args.dimacs
+        print(json.dumps(tel.run_report("sat-check", args.spec, verdict,
+                                        code, details), sort_keys=True))
+    else:
+        for line in lines:
+            print(line)
+    return code
 
 
-def cmd_bdd_check(args) -> int:
-    """Symbolic BDD fixpoint queries — no state graph (Section 2.2)."""
+def _bdd_check_verdict(args, stg, net):
+    """Run one ``bdd-check`` query.
+
+    Returns ``(verdict, exit_code, details, lines)`` exactly as
+    :func:`_sat_check_verdict` does for ``sat-check``.
+    """
     from .bdd import (
         DenseSymbolicReachability,
         SymbolicCSC,
         SymbolicReachability,
     )
 
-    stg = _load(args.spec)
-    if args.encoding == "dense" and args.query != "count":
-        print("error: --encoding dense is only supported for --query count",
-              file=sys.stderr)
-        return 2
-    net = stg.net
-    if args.reduce:
-        if args.query == "csc":
-            print("error: --reduce applies to net-level queries"
-                  " (count, deadlock) only", file=sys.stderr)
-            return 2
-        net = linear_reduce(net)
-
     if args.query == "count":
         if args.encoding == "dense":
             dense = DenseSymbolicReachability(net)
-            print("reachable codes: %d (dense: %d variables, %d BDD nodes)"
-                  % (dense.count(), dense.encoding.width, dense.bdd_size()))
-        else:
-            sym = SymbolicReachability(net, place_order=args.order)
-            sym.assert_safe()
-            print("reachable markings: %d (%d places, %d BDD nodes)"
-                  % (sym.count(), len(sym.places), sym.bdd_size()))
-        return 0
+            count = dense.count()
+            details = {"reachable": count, "encoding": "dense",
+                       "variables": dense.encoding.width,
+                       "bdd_nodes": dense.bdd_size()}
+            return ("counted", 0, details,
+                    ["reachable codes: %d (dense: %d variables, %d BDD"
+                     " nodes)" % (count, dense.encoding.width,
+                                  dense.bdd_size())])
+        sym = SymbolicReachability(net, place_order=args.order)
+        sym.assert_safe()
+        count = sym.count()
+        details = {"reachable": count, "encoding": "naive",
+                   "places": len(sym.places),
+                   "bdd_nodes": sym.bdd_size()}
+        return ("counted", 0, details,
+                ["reachable markings: %d (%d places, %d BDD nodes)"
+                 % (count, len(sym.places), sym.bdd_size())])
 
     if args.query == "deadlock":
         sym = SymbolicReachability(net, place_order=args.order)
         dead = sym.find_deadlock()
         if dead is None:
-            print("deadlock-free: proved by symbolic fixpoint"
-                  " (%d reachable markings)" % sym.count())
-            return 0
-        print("dead marking: %r" % dead)
-        return 1
+            count = sym.count()
+            return ("deadlock-free", 0, {"reachable": count},
+                    ["deadlock-free: proved by symbolic fixpoint"
+                     " (%d reachable markings)" % count])
+        return ("deadlock", 1,
+                {"dead_marking": {p: n for p, n in dead.items()}},
+                ["dead marking: %r" % dead])
 
     # csc
     analysis = SymbolicCSC(stg, place_order=args.order)
     if not analysis.has_conflict():
-        print("CSC holds: no two reachable states share a code with"
-              " different non-input excitation")
-        return 0
+        return ("no-conflict", 0,
+                {"conflicting_codes": 0,
+                 "signals": list(analysis.signals)},
+                ["CSC holds: no two reachable states share a code with"
+                 " different non-input excitation"])
     parities = analysis.conflict_parities()
-    print("CSC conflict: %d conflicting code(s) over signals %s"
-          % (len(parities), " ".join(analysis.signals)))
-    for vec in parities:
-        print("  code (xor initial): %s" % "".join(map(str, vec)))
-    return 1
+    lines = ["CSC conflict: %d conflicting code(s) over signals %s"
+             % (len(parities), " ".join(analysis.signals))]
+    lines.extend("  code (xor initial): %s" % "".join(map(str, vec))
+                 for vec in parities)
+    return ("conflict", 1,
+            {"conflicting_codes": len(parities),
+             "signals": list(analysis.signals),
+             "parities": ["".join(map(str, vec)) for vec in parities]},
+            lines)
+
+
+def cmd_bdd_check(args) -> int:
+    """Symbolic BDD fixpoint queries — no state graph (Section 2.2)."""
+    stg = _load(args.spec)
+    if args.encoding == "dense" and args.query != "count":
+        print("error: --encoding dense is only supported for --query count",
+              file=sys.stderr)
+        return 2
+    if args.reduce and args.query == "csc":
+        print("error: --reduce applies to net-level queries"
+              " (count, deadlock) only", file=sys.stderr)
+        return 2
+
+    with _Telemetry(args) as tel:
+        net = stg.net
+        if args.reduce:
+            net = linear_reduce(net)
+        verdict, code, details, lines = _bdd_check_verdict(args, stg, net)
+    if args.json:
+        details = dict(details, query=args.query)
+        print(json.dumps(tel.run_report("bdd-check", args.spec, verdict,
+                                        code, details), sort_keys=True))
+    else:
+        for line in lines:
+            print(line)
+    return code
 
 
 def cmd_examples(args) -> int:
@@ -401,6 +550,27 @@ def cmd_examples(args) -> int:
               % (name, ",".join(stg.inputs), ",".join(stg.outputs),
                  stg.net.stats()))
     return 0
+
+
+def _add_telemetry_flags(p: argparse.ArgumentParser,
+                         json_flag: bool = False) -> None:
+    """Attach the shared observability flags to a subcommand parser.
+
+    ``--stats`` and ``--trace`` are available on every instrumented
+    command; ``--json`` (machine-readable run report) only where the
+    command defines a report shape (``sat-check`` / ``bdd-check``).
+    """
+    p.add_argument("--stats", action="store_true",
+                   help="print a per-span stats table to stderr"
+                        " (see docs/observability.md)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="stream span records to FILE as JSONL"
+                        " (repro-trace/1 schema)")
+    if json_flag:
+        p.add_argument("--json", action="store_true",
+                       help="print a machine-readable run report"
+                            " (repro-run-report/1) instead of the human"
+                            " output")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -415,10 +585,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="implementability report (Section 2)")
     p.add_argument("spec")
     p.add_argument("-v", "--verbose", action="store_true")
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("states", help="binary-coded state graph (Figure 4)")
     p.add_argument("spec")
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_states)
 
     p = sub.add_parser("waveform", help="ASCII timing diagram (Figure 2)")
@@ -428,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reduce", help="linear reductions + SM components"
                                       " (Figure 6)")
     p.add_argument("spec")
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_reduce)
 
     p = sub.add_parser("resolve", help="CSC resolution by signal insertion"
@@ -446,6 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verilog", action="store_true")
     p.add_argument("--verify", action="store_true",
                    help="verify the circuit against the specification")
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_synthesize)
 
     p = sub.add_parser("dot", help="Graphviz DOT of the Petri net")
@@ -499,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
                         " constrained)")
     p.add_argument("--dimacs", metavar="FILE",
                    help="dump the unrolled CNF in DIMACS format")
+    _add_telemetry_flags(p, json_flag=True)
     p.set_defaults(func=cmd_sat_check)
 
     p = sub.add_parser("bdd-check", help="symbolic BDD fixpoint queries"
@@ -512,6 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="BDD variable-order heuristic")
     p.add_argument("--reduce", action="store_true",
                    help="linear-reduce the net first (count/deadlock only)")
+    _add_telemetry_flags(p, json_flag=True)
     p.set_defaults(func=cmd_bdd_check)
 
     p = sub.add_parser("examples", help="list bundled specifications")

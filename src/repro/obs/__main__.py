@@ -1,0 +1,37 @@
+"""Trace-schema lint: ``python -m repro.obs TRACE.jsonl [...]``.
+
+Validates each file against the ``repro-trace/1`` JSONL schema
+(:func:`repro.obs.schema.validate_trace_file`) and prints every problem
+found.  Exit code 0 iff all files are valid — the CI trace lint step
+fails the build on malformed instrumentation output.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from .schema import validate_trace_file
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Lint the given JSONL trace files; returns the exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs TRACE.jsonl [TRACE.jsonl ...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        problems = validate_trace_file(path)
+        if problems:
+            failed = True
+            for p in problems:
+                print("%s: %s" % (path, p))
+        else:
+            print("%s: ok" % path)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

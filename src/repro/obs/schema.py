@@ -1,0 +1,169 @@
+"""The machine-readable schemas and their validators.
+
+Two document shapes leave the subsystem, both versioned by a literal
+``schema`` tag so downstream consumers (the portfolio scheduler, the CI
+trace lint, external tooling) can reject what they don't understand:
+
+**Trace records** (``repro-trace/1``) — one JSON object per line of a
+``--trace`` JSONL file, one per completed span::
+
+    {"schema": "repro-trace/1", "event": "span", "name": "engine.build",
+     "seq": 3, "depth": 0, "parent": null,
+     "start_s": 0.0012, "duration_s": 0.0401,
+     "tags": {"engine": "compiled", "net": "muller_pipeline_6"},
+     "counters": {"states": 1304, "arcs": 3968},
+     "gauges": {"states_per_sec": 32500.1}}
+
+**Run reports** (``repro-run-report/1``) — the single document printed
+by ``repro sat-check --json`` / ``repro bdd-check --json``: command,
+verdict, result details, and the per-span aggregate produced by
+:meth:`repro.obs.sinks.MemorySink.stats`.
+
+The validators return a list of human-readable problems (empty == valid)
+rather than raising, so the CI lint can report every defect of a file in
+one pass.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+#: Version tag carried by every JSONL trace record.
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Version tag carried by every ``--json`` run report.
+REPORT_SCHEMA = "repro-run-report/1"
+
+#: Version tag carried by every ``BENCH_<suite>.json`` benchmark record.
+BENCH_SCHEMA = "repro-bench/1"
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+def _check_numbers(problems: List[str], where: str, values: Any) -> None:
+    """Append a problem per non-numeric (or bool) metric value."""
+    if not isinstance(values, dict):
+        problems.append("%s: expected an object, got %r" % (where, values))
+        return
+    for k, v in values.items():
+        if not isinstance(k, str):
+            problems.append("%s: non-string key %r" % (where, k))
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            problems.append("%s[%r]: non-numeric value %r" % (where, k, v))
+
+
+def validate_trace_record(record: Any) -> List[str]:
+    """Problems of one trace record against ``repro-trace/1`` (empty
+    list == the record is valid)."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return ["record is not an object: %r" % (record,)]
+    if record.get("schema") != TRACE_SCHEMA:
+        problems.append("schema: expected %r, got %r"
+                        % (TRACE_SCHEMA, record.get("schema")))
+    if record.get("event") != "span":
+        problems.append("event: expected 'span', got %r"
+                        % (record.get("event"),))
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append("name: expected a non-empty string, got %r" % (name,))
+    for key in ("seq", "depth"):
+        v = record.get(key)
+        if isinstance(v, bool) or not isinstance(v, int) or v < 0:
+            problems.append("%s: expected a non-negative int, got %r"
+                            % (key, v))
+    parent = record.get("parent", "missing")
+    if parent is not None and not isinstance(parent, str):
+        problems.append("parent: expected a string or null, got %r"
+                        % (parent,))
+    for key in ("start_s", "duration_s"):
+        v = record.get(key)
+        if isinstance(v, bool) or not isinstance(v, (int, float)) or v < 0:
+            problems.append("%s: expected a non-negative number, got %r"
+                            % (key, v))
+    tags = record.get("tags")
+    if not isinstance(tags, dict):
+        problems.append("tags: expected an object, got %r" % (tags,))
+    else:
+        for k, v in tags.items():
+            if not isinstance(k, str):
+                problems.append("tags: non-string key %r" % (k,))
+            if not isinstance(v, _SCALAR):
+                problems.append("tags[%r]: non-scalar value %r" % (k, v))
+    _check_numbers(problems, "counters", record.get("counters"))
+    _check_numbers(problems, "gauges", record.get("gauges"))
+    error = record.get("error")
+    if error is not None and not isinstance(error, str):
+        problems.append("error: expected a string, got %r" % (error,))
+    return problems
+
+
+def validate_trace_text(text: str) -> List[str]:
+    """Problems of a whole JSONL trace, prefixed ``line N:``.
+
+    Blank lines are rejected (a truncated write must not lint clean);
+    an empty file is valid (a run with tracing enabled but no spans).
+    """
+    problems: List[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            problems.append("line %d: blank line" % number)
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            problems.append("line %d: not JSON (%s)" % (number, exc))
+            continue
+        problems.extend("line %d: %s" % (number, p)
+                        for p in validate_trace_record(record))
+    return problems
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Problems of the JSONL trace at ``path`` (empty list == valid)."""
+    with open(path) as f:
+        return validate_trace_text(f.read())
+
+
+def validate_run_report(report: Any) -> List[str]:
+    """Problems of one ``--json`` run report against
+    ``repro-run-report/1`` (empty list == valid)."""
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["report is not an object: %r" % (report,)]
+    if report.get("schema") != REPORT_SCHEMA:
+        problems.append("schema: expected %r, got %r"
+                        % (REPORT_SCHEMA, report.get("schema")))
+    for key in ("command", "spec", "verdict"):
+        v = report.get(key)
+        if not isinstance(v, str) or not v:
+            problems.append("%s: expected a non-empty string, got %r"
+                            % (key, v))
+    code = report.get("exit_code")
+    if isinstance(code, bool) or not isinstance(code, int):
+        problems.append("exit_code: expected an int, got %r" % (code,))
+    if not isinstance(report.get("details"), dict):
+        problems.append("details: expected an object, got %r"
+                        % (report.get("details"),))
+    stats = report.get("stats")
+    if not isinstance(stats, dict):
+        problems.append("stats: expected an object, got %r" % (stats,))
+        return problems
+    for name, agg in stats.items():
+        where = "stats[%r]" % name
+        if not isinstance(agg, dict):
+            problems.append("%s: expected an object, got %r" % (where, agg))
+            continue
+        calls = agg.get("calls")
+        if isinstance(calls, bool) or not isinstance(calls, int) or calls < 1:
+            problems.append("%s.calls: expected a positive int, got %r"
+                            % (where, calls))
+        time_s = agg.get("time_s")
+        if isinstance(time_s, bool) or not isinstance(time_s, (int, float)) \
+                or time_s < 0:
+            problems.append("%s.time_s: expected a non-negative number,"
+                            " got %r" % (where, time_s))
+        _check_numbers(problems, where + ".counters", agg.get("counters"))
+        _check_numbers(problems, where + ".gauges", agg.get("gauges"))
+    return problems

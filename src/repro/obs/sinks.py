@@ -1,0 +1,170 @@
+"""Where completed span records go: memory, JSONL, or a human table.
+
+Three consumers cover the subsystem's use cases:
+
+* :class:`MemorySink` — an in-process list of records with aggregation
+  helpers; what the test suite and the CLI's ``--stats`` flag use.
+* :class:`JsonlSink` — one JSON document per line, written as spans
+  close (children before parents), following the ``repro-trace/1``
+  schema of :mod:`repro.obs.schema`; what ``--trace FILE`` writes and
+  what the CI trace lint validates.
+* :func:`report` — a fixed-width table aggregating records by span
+  name; the human-readable run report.
+
+A sink is anything with a ``handle(record)`` method — the records are
+plain dicts, so custom sinks need no imports from this package.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Union
+
+Record = Dict[str, Any]
+
+
+class MemorySink:
+    """Collects span records in a list, with aggregation helpers."""
+
+    def __init__(self):
+        self.records: List[Record] = []
+
+    def handle(self, record: Record) -> None:
+        """Store one completed span record."""
+        self.records.append(record)
+
+    def clear(self) -> None:
+        """Drop every stored record."""
+        del self.records[:]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def spans(self, name: Optional[str] = None) -> List[Record]:
+        """All records, or just those whose span name equals ``name``."""
+        if name is None:
+            return list(self.records)
+        return [r for r in self.records if r["name"] == name]
+
+    def counter_total(self, counter: str,
+                      span: Optional[str] = None) -> Union[int, float]:
+        """Sum of one counter across all records (optionally one span
+        name) — 0 if the counter never fired."""
+        total = 0
+        for r in self.records:
+            if span is not None and r["name"] != span:
+                continue
+            total += r["counters"].get(counter, 0)
+        return total
+
+    def last_gauge(self, gauge: str,
+                   span: Optional[str] = None) -> Optional[Union[int, float]]:
+        """Most recent value of a gauge (optionally per span name)."""
+        value = None
+        for r in self.records:
+            if span is not None and r["name"] != span:
+                continue
+            if gauge in r["gauges"]:
+                value = r["gauges"][gauge]
+        return value
+
+    def stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-span-name aggregate: calls, total time, summed counters
+        and last-wins gauges — the ``stats`` object of the CLI's
+        machine-readable run report (stable keys, see
+        :data:`repro.obs.schema.REPORT_SCHEMA`)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for r in self.records:
+            agg = out.setdefault(r["name"], {
+                "calls": 0, "time_s": 0.0, "counters": {}, "gauges": {},
+            })
+            agg["calls"] += 1
+            agg["time_s"] += r["duration_s"]
+            for k, v in r["counters"].items():
+                agg["counters"][k] = agg["counters"].get(k, 0) + v
+            agg["gauges"].update(r["gauges"])
+        return out
+
+    def __repr__(self):
+        return "MemorySink(%d records)" % len(self.records)
+
+
+class JsonlSink:
+    """Streams every span record as one JSON line to a file or stream.
+
+    Accepts a path (opened for writing, closed by :meth:`close`) or any
+    writable text stream (left open).  Keys are sorted so the output is
+    byte-stable for identical runs.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._fp: IO[str] = open(target, "w")
+            self._owns = True
+        else:
+            self._fp = target
+            self._owns = False
+
+    def handle(self, record: Record) -> None:
+        """Serialise one record as a JSON line (flushed immediately, so
+        a crashed run still leaves a valid prefix)."""
+        self._fp.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fp.flush()
+
+    def close(self) -> None:
+        """Close the underlying file if this sink opened it."""
+        if self._owns:
+            self._fp.close()
+
+    def __enter__(self) -> "JsonlSink":
+        """Support ``with JsonlSink(path) as sink:`` usage."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close on scope exit."""
+        self.close()
+
+    def __repr__(self):
+        return "JsonlSink(%r)" % getattr(self._fp, "name", self._fp)
+
+
+def _format_values(values: Dict[str, Any]) -> str:
+    """``k=v`` pairs in sorted key order, floats compacted."""
+    parts = []
+    for k in sorted(values):
+        v = values[k]
+        if isinstance(v, float):
+            parts.append("%s=%.4g" % (k, v))
+        else:
+            parts.append("%s=%s" % (k, v))
+    return " ".join(parts)
+
+
+def report(source: Union[MemorySink, List[Record]]) -> str:
+    """A fixed-width human-readable table of a run's spans.
+
+    Aggregates records by span name (calls, total seconds, summed
+    counters, last gauges), ordered by total time descending — the thing
+    ``repro ... --stats`` prints::
+
+        span                        calls   time(s)  observations
+        engine.build                    1    0.0123  arcs=44 states=14 ...
+    """
+    if isinstance(source, MemorySink):
+        stats = source.stats()
+    else:
+        sink = MemorySink()
+        for r in source:
+            sink.handle(r)
+        stats = sink.stats()
+    if not stats:
+        return "(no spans recorded)"
+    lines = ["%-32s %5s %9s  %s" % ("span", "calls", "time(s)",
+                                    "observations")]
+    for name in sorted(stats, key=lambda n: -stats[n]["time_s"]):
+        agg = stats[name]
+        values = dict(agg["counters"])
+        values.update(agg["gauges"])
+        lines.append("%-32s %5d %9.4f  %s" % (
+            name, agg["calls"], agg["time_s"], _format_values(values)))
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..errors import ModelError, UnboundedError
 from .marking import Marking
 from .net import PetriNet
@@ -297,8 +298,14 @@ def compile_net(net: PetriNet,
     """
     compiled = getattr(net, "_compiled_cache", None)
     if compiled is None or compiled._version != net._structure_version:
-        compiled = CompiledNet(net)
+        with obs.span("engine.compile", engine="compiled",
+                      net=net.name) as span:
+            compiled = CompiledNet(net)
+            span.add("places", len(compiled.places))
+            span.add("transitions", len(compiled.transitions))
         net._compiled_cache = compiled
+    else:
+        obs.add("compile_cache_hits")
     # always re-root: the cache is shared, so a previous caller's initial
     # (or a set_initial_marking since compilation) must not leak through
     if initial is None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..errors import ModelError
 from .net import PetriNet
 from .properties import explore
@@ -216,12 +217,20 @@ def linear_reduce(net: PetriNet, rules: Optional[List[str]] = None,
         if r not in _RULES:
             raise ModelError("unknown reduction rule %r" % r)
     result = net if inplace else net.copy(net.name + "_reduced")
-    changed = True
-    while changed:
-        changed = False
-        for r in rules:
-            while _RULES[r](result):
-                changed = True
+    with obs.span("petri.reduce", net=net.name,
+                  rules=",".join(rules)) as span:
+        changed = True
+        while changed:
+            changed = False
+            for r in rules:
+                while _RULES[r](result):
+                    changed = True
+                    span.add("rules_fired")
+                    span.add("rule." + r)
+        span.add("places_removed",
+                 len(net.places) - len(result.places))
+        span.add("transitions_removed",
+                 len(net.transitions) - len(result.transitions))
     return result
 
 

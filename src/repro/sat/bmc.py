@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Union
 
+from .. import obs
 from ..errors import ModelError
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
@@ -127,10 +128,18 @@ class BMC:
         ``target(encoding, frame)`` returns the assumption literals that
         must hold at ``frame`` (it may add auxiliary clauses first).
         Returns a replayed :class:`Witness` or None.
+
+        When :func:`repro.obs.enabled`, the whole bound loop runs under
+        a ``sat.bmc`` span counting ``bounds_explored`` (the per-call
+        ``sat.solve`` spans nest inside it).
         """
-        for k in range(start, bound + 1):
-            if self.solve_at(target, k):
-                return self.witness(k)
+        with obs.span("sat.bmc", net=self.net.name, bound=bound) as span:
+            for k in range(start, bound + 1):
+                span.add("bounds_explored")
+                if self.solve_at(target, k):
+                    span.annotate(result="witness", k=k)
+                    return self.witness(k)
+            span.annotate(result="no-trace")
         return None
 
     def witness(self, frame: int) -> Witness:

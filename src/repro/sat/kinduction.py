@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
+from .. import obs
 from ..petri.net import PetriNet
 from ..stg.stg import STG
 from .bmc import BMC, TargetFn, Witness
@@ -129,12 +130,23 @@ def k_induction(model, bad: TargetFn,
     ``bad(encoding, frame)`` returns assumption literals describing the
     bad states (e.g. :func:`repro.sat.bmc.deadlock_target`).  Interleaves
     the BMC base case and the inductive step case at each depth.
+
+    When :func:`repro.obs.enabled`, the proof loop runs under a
+    ``sat.kinduction`` span counting ``base_calls`` / ``step_calls``
+    and tagged with the verdict and final depth.
     """
     base = BMC(model, semantics=semantics, invariants=invariants)
     step = _StepCase(model, semantics=semantics, invariants=invariants)
-    for k in range(max_k + 1):
-        if base.solve_at(bad, k):
-            return Refuted(base.witness(k))
-        if step.holds_at(bad, k):
-            return Proved(k)
+    with obs.span("sat.kinduction", net=base.net.name,
+                  max_k=max_k) as span:
+        for k in range(max_k + 1):
+            span.add("base_calls")
+            if base.solve_at(bad, k):
+                span.annotate(verdict="refuted", k=k)
+                return Refuted(base.witness(k))
+            span.add("step_calls")
+            if step.holds_at(bad, k):
+                span.annotate(verdict="proved", k=k)
+                return Proved(k)
+        span.annotate(verdict="unknown", k=max_k)
     return Unknown(max_k)

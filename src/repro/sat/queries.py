@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple, Union
 
+from .. import obs
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
 from ..petri.token_game import enabled_transitions
@@ -205,20 +206,28 @@ def csc_conflict(stg: STG, bound: int = DEFAULT_BOUND,
     solver = Solver()
     feed = ClauseFeeder(solver, cnf)
 
-    for k in range(bound + 1):
-        enc_a.ensure_steps(k)
-        enc_b.ensure_steps(k)
-        # same binary code, different non-input excitation signature
-        equal, different = csc_pair_lits(stg, cnf, enc_a, enc_b, k)
-        assumptions = equal + [different]
-        feed()
-        if solver.solve(assumptions):
-            trace_a = replay_witness(stg.net, enc_a, solver.model_value, k)
-            trace_b = replay_witness(stg.net, enc_b, solver.model_value, k)
-            return SatCSCConflict(
-                trace_a=trace_a, trace_b=trace_b,
-                enabled_a=_noninput_signature(stg, trace_a.final_marking),
-                enabled_b=_noninput_signature(stg, trace_b.final_marking))
+    with obs.span("sat.csc", net=stg.net.name, bound=bound) as span:
+        for k in range(bound + 1):
+            span.add("bounds_explored")
+            enc_a.ensure_steps(k)
+            enc_b.ensure_steps(k)
+            # same binary code, different non-input excitation signature
+            equal, different = csc_pair_lits(stg, cnf, enc_a, enc_b, k)
+            assumptions = equal + [different]
+            feed()
+            if solver.solve(assumptions):
+                span.annotate(result="conflict", k=k)
+                trace_a = replay_witness(stg.net, enc_a,
+                                         solver.model_value, k)
+                trace_b = replay_witness(stg.net, enc_b,
+                                         solver.model_value, k)
+                return SatCSCConflict(
+                    trace_a=trace_a, trace_b=trace_b,
+                    enabled_a=_noninput_signature(stg,
+                                                  trace_a.final_marking),
+                    enabled_b=_noninput_signature(stg,
+                                                  trace_b.final_marking))
+        span.annotate(result="no-conflict")
     return None
 
 
@@ -243,9 +252,14 @@ def consistency_violation(stg: STG, bound: int = DEFAULT_BOUND,
     encoding = bmc.encoding
     assert isinstance(encoding, STGEncoding)
 
-    for k in range(bound):
-        encoding.ensure_steps(k + 1)
-        bmc._feed()
-        if bmc.solver.solve([encoding.violation_lit(k)]):
-            return bmc.witness(k + 1)
+    with obs.span("sat.consistency", net=stg.net.name,
+                  bound=bound) as span:
+        for k in range(bound):
+            span.add("bounds_explored")
+            encoding.ensure_steps(k + 1)
+            bmc._feed()
+            if bmc.solver.solve([encoding.violation_lit(k)]):
+                span.annotate(result="violation", k=k + 1)
+                return bmc.witness(k + 1)
+        span.annotate(result="no-violation")
     return None

@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..errors import ModelError
 from .cnf import CNF
 
@@ -103,13 +104,35 @@ class Solver:
         self._max_learnts = 4000.0
         self.ok = True
         self.model: List[int] = []
-        # statistics (read-only for callers)
+        # statistics (read-only for callers; see stats())
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
         self.restarts = 0
+        self.added_clauses = 0
         if cnf is not None:
             self.add_cnf(cnf)
+
+    def stats(self) -> Dict[str, int]:
+        """The solver's work counters as a plain dict (stable keys).
+
+        ``vars``/``clauses`` size the problem (``clauses`` counts every
+        accepted :meth:`add_clause` call, including those simplified
+        away at the root); ``learnts`` is the *live* learnt-clause count;
+        ``conflicts``/``decisions``/``propagations``/``restarts`` are
+        cumulative across all :meth:`solve` calls.  This is the public
+        form of the counters that used to be visible only through
+        ``repr()`` — the observability layer and the tests consume it.
+        """
+        return {
+            "vars": self.n_vars,
+            "clauses": self.added_clauses,
+            "learnts": len(self._learnts),
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+        }
 
     # ------------------------------------------------------------------ #
     # problem construction
@@ -137,6 +160,7 @@ class Solver:
             raise ModelError("add_clause requires decision level 0")
         if not self.ok:
             return False
+        self.added_clauses += 1
         seen = set()
         clause: List[int] = []
         for lit in lits:
@@ -364,7 +388,30 @@ class Solver:
         Returns True (satisfiable — :attr:`model` holds an assignment) or
         False (unsatisfiable under the assumptions).  The solver is left at
         decision level 0, ready for more clauses or another call.
+
+        When :func:`repro.obs.enabled` each call opens a ``sat.solve``
+        span recording the per-call deltas of the :meth:`stats` counters
+        and the sat/unsat outcome; disabled, the only cost is one
+        boolean check.
         """
+        if not obs.enabled():
+            return self._solve(assumptions)
+        before = (self.conflicts, self.decisions, self.propagations,
+                  self.restarts)
+        with obs.span("sat.solve", vars=self.n_vars,
+                      assumptions=len(assumptions)) as span:
+            result = self._solve(assumptions)
+            span.annotate(result="sat" if result else "unsat")
+            span.add("calls")
+            span.add("conflicts", self.conflicts - before[0])
+            span.add("decisions", self.decisions - before[1])
+            span.add("propagations", self.propagations - before[2])
+            span.add("restarts", self.restarts - before[3])
+            span.set_gauge("learnts", len(self._learnts))
+        return result
+
+    def _solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """The CDCL search loop behind :meth:`solve` (uninstrumented)."""
         self.model = []  # invalidate any previous model up front
         if not self.ok:
             return False

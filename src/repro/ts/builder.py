@@ -44,6 +44,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from .. import obs
 from ..bdd.symbolic import SymbolicReachability
 from ..errors import ModelError, StateExplosionError, UnboundedError
 from ..petri.compiled import compile_net, supports_compilation
@@ -109,6 +110,11 @@ def build_reachability_graph(model: Union[PetriNet, STG],
     See the module docstring and ``docs/engines.md``.  Requesting the
     compiled or bdd engine for a model outside its domain raises
     :class:`ModelError`.
+
+    When :func:`repro.obs.enabled`, every build runs under an
+    ``engine.build`` span tagged with the resolved engine and net,
+    counting ``states`` / ``arcs`` and gauging ``states_per_sec``
+    (see ``docs/observability.md``).
     """
     net = model.net if isinstance(model, STG) else model
     if initial is None:
@@ -120,15 +126,20 @@ def build_reachability_graph(model: Union[PetriNet, STG],
             raise ModelError(
                 "compiled engine only explores safe state spaces"
                 " (require_safe=False needs engine='naive')")
-        return _build_compiled(net, initial, max_states)
+        return _traced_build(
+            "compiled", net,
+            lambda: _build_compiled(net, initial, max_states))
     if engine == "naive":
-        return _build_naive(net, initial, max_states, require_safe)
+        return _traced_build(
+            "naive", net,
+            lambda: _build_naive(net, initial, max_states, require_safe))
     if engine == "bdd":
         if not require_safe:
             raise ModelError(
                 "bdd engine only explores safe state spaces"
                 " (require_safe=False needs engine='naive')")
-        return _build_bdd(net, initial, max_states)
+        return _traced_build(
+            "bdd", net, lambda: _build_bdd(net, initial, max_states))
     if engine == "sat":
         # the SAT engine answers *queries*, it never materialises the
         # graph — asking it for the full graph is a usage error
@@ -139,6 +150,26 @@ def build_reachability_graph(model: Union[PetriNet, STG],
             " instead of build_reachability_graph")
     raise ModelError(
         "unknown engine %r (expected one of %s)" % (engine, ENGINES))
+
+
+def _traced_build(engine: str, net: PetriNet, build) -> TransitionSystem:
+    """Run one graph-builder thunk under an ``engine.build`` span.
+
+    Disabled, this is one boolean check plus the plain ``build()`` call
+    — the graph is never re-measured; enabled, the span records the
+    ``states`` / ``arcs`` counters and a ``states_per_sec`` gauge.
+    """
+    if not obs.enabled():
+        return build()
+    with obs.span("engine.build", engine=engine, net=net.name) as span:
+        ts = build()
+        states = len(ts)
+        span.add("states", states)
+        span.add("arcs", ts.arc_count())
+        elapsed = span.elapsed()
+        if elapsed > 0.0:
+            span.set_gauge("states_per_sec", states / elapsed)
+    return ts
 
 
 def _build_compiled(net: PetriNet, initial: Marking,

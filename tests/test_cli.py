@@ -219,6 +219,88 @@ class TestSatCheck:
         assert solver.solve() == expect_sat
 
 
+class TestTelemetry:
+    def test_sat_check_json_round_trips(self, spec_file, capsys):
+        from repro import obs
+
+        code = main(["sat-check", spec_file, "--property", "csc",
+                     "--bound", "12", "--json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert obs.validate_run_report(report) == []
+        assert report["schema"] == "repro-run-report/1"
+        assert report["command"] == "sat-check"
+        assert report["verdict"] == "conflict"
+        assert report["exit_code"] == 1
+        assert report["details"]["property"] == "csc"
+        assert report["details"]["bound"] == 12
+        assert report["details"]["trace_a"] and report["details"]["trace_b"]
+        solve = report["stats"]["sat.solve"]
+        assert solve["counters"]["decisions"] > 0
+        assert solve["counters"]["propagations"] > 0
+
+    def test_bdd_check_json_round_trips(self, spec_file, capsys):
+        from repro import obs
+
+        code = main(["bdd-check", spec_file, "--query", "csc", "--json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert obs.validate_run_report(report) == []
+        assert report["command"] == "bdd-check"
+        assert report["verdict"] == "conflict"
+        assert report["details"]["conflicting_codes"] == 1
+        fixpoint = report["stats"]["bdd.fixpoint"]
+        assert fixpoint["counters"]["image_iterations"] > 0
+        assert fixpoint["gauges"]["peak_nodes"] > 0
+
+    def test_bdd_check_json_count_verdict(self, spec_file, capsys):
+        code = main(["bdd-check", spec_file, "--query", "count", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["verdict"] == "counted"
+        assert report["details"]["reachable"] == 14
+
+    def test_stats_table_goes_to_stderr(self, spec_file, capsys):
+        code = main(["sat-check", spec_file, "--bound", "8", "--stats"])
+        assert code == 0
+        captured = capsys.readouterr()
+        # stdout is byte-identical to a run without --stats
+        assert captured.out == "no deadlock within 8 steps\n"
+        assert "sat.solve" in captured.err
+        assert "span" in captured.err
+
+    def test_human_output_unchanged_by_flags(self, spec_file, capsys):
+        main(["bdd-check", spec_file, "--query", "csc"])
+        plain = capsys.readouterr().out
+        main(["bdd-check", spec_file, "--query", "csc", "--stats"])
+        assert capsys.readouterr().out == plain
+
+    def test_trace_file_lints_clean(self, spec_file, tmp_path, capsys):
+        from repro import obs
+
+        path = str(tmp_path / "run.jsonl")
+        assert main(["bdd-check", spec_file, "--query", "count",
+                     "--trace", path]) == 0
+        assert obs.validate_trace_file(path) == []
+        names = [json.loads(line)["name"]
+                 for line in open(path).read().splitlines()]
+        assert "bdd.safety" in names
+
+    def test_analyze_stats(self, spec_file, capsys):
+        assert main(["analyze", spec_file, "--stats"]) == 1
+        captured = capsys.readouterr()
+        assert "implementable as SI circuit: False" in captured.out
+        assert "analysis.implementability" in captured.err
+
+    def test_flags_do_not_leave_the_layer_armed(self, spec_file, capsys):
+        from repro import obs
+
+        main(["bdd-check", spec_file, "--query", "count", "--stats"])
+        capsys.readouterr()
+        assert not obs.enabled()
+        assert obs.active_sinks() == []
+
+
 class TestSeparation:
     def test_separation_command(self, spec_file, tmp_path, capsys):
         delays = {t: [1, 2] for t in vme_read().net.transitions}

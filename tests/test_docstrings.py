@@ -102,10 +102,11 @@ def python_blocks(path: Path):
     return blocks
 
 
-@pytest.mark.parametrize("document", ["README.md", "docs/engines.md"])
+@pytest.mark.parametrize("document", [
+    "README.md", "docs/engines.md", "docs/observability.md"])
 def test_documentation_code_blocks_execute(document):
-    """README quickstart and the engine guide run verbatim, top to
-    bottom, in one shared namespace per document."""
+    """README quickstart, the engine guide and the observability guide
+    run verbatim, top to bottom, in one shared namespace per document."""
     path = REPO_ROOT / document
     namespace = {}
     for index, block in enumerate(python_blocks(path)):
