@@ -44,7 +44,11 @@ The library covers the whole flow of the paper:
   hazard-free two-level minimization (Sections 3.3 and 6);
 * :mod:`repro.obs` — zero-dependency instrumentation: spans, counters,
   gauges, JSONL traces and machine-readable run reports across every
-  engine (enable with ``REPRO_TRACE=1`` or ``repro.obs.enable()``).
+  engine (enable with ``REPRO_TRACE=1`` or ``repro.obs.enable()``);
+* :mod:`repro.portfolio` — fault-tolerant portfolio orchestration:
+  races the verdict engines in supervised worker processes with
+  deadlines, crash retry, degradation ladders, deterministic fault
+  injection (``REPRO_FAULTS``) and cross-validated verdicts.
 
 Quick start::
 
@@ -57,10 +61,11 @@ Quick start::
     assert report.ok
 """
 
-from . import analysis, bdd, boolmin, burstmode, obs, petri, procalg, regions, sat, stg, synth, tech, timing, ts, unfold, verify
+from . import analysis, bdd, boolmin, budgets, burstmode, obs, petri, portfolio, procalg, regions, sat, stg, synth, tech, timing, ts, unfold, verify
 from .errors import (
     CSCError,
     ConsistencyError,
+    EngineTimeoutError,
     ModelError,
     ParseError,
     PersistencyError,
@@ -69,15 +74,19 @@ from .errors import (
     SynthesisError,
     UnboundedError,
     VerificationError,
+    WorkerCrashError,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "analysis", "bdd", "boolmin", "burstmode", "obs", "petri", "procalg", "regions", "sat", "stg", "synth",
+    "analysis", "bdd", "boolmin", "budgets", "burstmode", "obs", "petri", "portfolio", "procalg",
+    "regions", "sat", "stg", "synth",
     "tech", "timing", "ts", "unfold", "verify",
-    "CSCError", "ConsistencyError", "ModelError", "ParseError",
+    "CSCError", "ConsistencyError", "EngineTimeoutError", "ModelError",
+    "ParseError",
     "PersistencyError", "ReproError", "StateExplosionError",
     "SynthesisError", "UnboundedError", "VerificationError",
+    "WorkerCrashError",
     "__version__",
 ]

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from .. import obs
+from ..budgets import DEFAULT_STATE_BOUND
 from ..errors import ConsistencyError, UnboundedError
 from ..stg.signals import SignalEvent
 from ..stg.stg import STG
@@ -239,18 +240,19 @@ def find_csc_conflict_bdd(stg: STG, place_order: str = "dfs"):
 
 
 def check_implementability(stg: STG,
-                           max_states: int = 1_000_000,
+                           max_states: int = DEFAULT_STATE_BOUND,
                            engine: str = "auto") -> ImplementabilityReport:
     """Run the full battery of Section 2.1 checks and return a report.
 
     ``engine`` selects the reachability engine used to build the state
     graph — any of the graph-building members of
     :data:`repro.ts.builder.ENGINES` (``"auto"``, ``"compiled"``,
-    ``"naive"``, ``"bdd"``); the query-only ``"sat"`` engine cannot build
-    the graph this report needs (see
-    :func:`repro.ts.builder.build_reachability_graph`), use
-    :func:`find_csc_conflict_sat` / :func:`find_csc_conflict_bdd` for
-    single-question analyses instead.
+    ``"naive"``, ``"bdd"``); the query-only ``"sat"`` and
+    ``"portfolio"`` engines cannot build the graph this report needs
+    (see :func:`repro.ts.builder.build_reachability_graph`), use
+    :func:`find_csc_conflict_sat` / :func:`find_csc_conflict_bdd` or
+    the racing checks of :mod:`repro.portfolio` for single-question
+    analyses instead.
     """
     report = ImplementabilityReport(stg_name=stg.name)
     with obs.span("analysis.implementability", stg=stg.name,

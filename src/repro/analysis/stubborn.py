@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..budgets import DEFAULT_STATE_BOUND
 from ..errors import StateExplosionError
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
@@ -64,7 +65,7 @@ def stubborn_set(net: PetriNet, marking: Marking,
 
 
 def reduced_reachability(net: PetriNet,
-                         max_states: int = 1_000_000) -> TransitionSystem:
+                         max_states: int = DEFAULT_STATE_BOUND) -> TransitionSystem:
     """Stubborn-set-reduced state space (deadlock preserving)."""
     initial = net.initial_marking
     ts = TransitionSystem(initial)
@@ -81,7 +82,8 @@ def reduced_reachability(net: PetriNet,
             if succ not in seen:
                 if len(seen) >= max_states:
                     raise StateExplosionError(
-                        "reduced reachability exceeded %d states" % max_states
+                        "reduced reachability exceeded %d states" % max_states,
+                        bound=max_states, states=len(seen)
                     )
                 seen.add(succ)
                 stack.append(succ)
@@ -89,7 +91,7 @@ def reduced_reachability(net: PetriNet,
 
 
 def deadlocks_reduced(net: PetriNet,
-                      max_states: int = 1_000_000) -> List[Marking]:
+                      max_states: int = DEFAULT_STATE_BOUND) -> List[Marking]:
     """Deadlocks found in the stubborn-set-reduced state space.
 
     Stubborn-set theory guarantees this is exactly the set of reachable
@@ -103,7 +105,7 @@ def deadlocks_reduced(net: PetriNet,
 
 
 def reduction_statistics(net: PetriNet,
-                         max_states: int = 1_000_000) -> Dict[str, int]:
+                         max_states: int = DEFAULT_STATE_BOUND) -> Dict[str, int]:
     """Full vs reduced state/arc counts — the Section 2.2 comparison."""
     from ..ts.builder import build_reachability_graph
 

@@ -42,6 +42,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
+from ..budgets import DEFAULT_STATE_BOUND
 from ..errors import ModelError, StateExplosionError, UnboundedError
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
@@ -421,7 +422,7 @@ class SymbolicReachability:
 
     # -- materialisation ------------------------------------------------ #
 
-    def to_transition_system(self, max_states: int = 1_000_000):
+    def to_transition_system(self, max_states: int = DEFAULT_STATE_BOUND):
         """Materialise the symbolic fixpoint as an explicit
         :class:`~repro.ts.transition_system.TransitionSystem`.
 
@@ -443,7 +444,7 @@ class SymbolicReachability:
         if total > max_states:
             raise StateExplosionError(
                 "reachability graph exceeded %d states (symbolic count: %d)"
-                % (max_states, total))
+                % (max_states, total), bound=max_states, states=total)
         reached = self.reachable()
         bdd = self.bdd
         net = self.net

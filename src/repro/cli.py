@@ -12,6 +12,8 @@ Usage::
     python -m repro sat-check spec.g --property deadlock --induction
     python -m repro sat-check spec.g --property csc --json
     python -m repro bdd-check spec.g --query csc
+    python -m repro check spec.g --query deadlock --portfolio
+    python -m repro check spec.g --query csc --portfolio --faults "kill:attempt=0"
     python -m repro bdd-check spec.g --query count --stats --trace run.jsonl
     python -m repro dot spec.g
     python -m repro examples --list
@@ -350,8 +352,10 @@ def _sat_check_verdict(args, stg, target):
                          "dead_marking": {p: n for p, n in dead.items()}},
                         ["deadlock reachable: %s" % " ".join(w.transitions),
                          "dead marking: %r" % dead])
-            return ("unknown", 1, {"k": outcome.k},
-                    ["unknown at k=%d (raise --bound)" % outcome.k])
+            return ("unknown", 1,
+                    {"k": outcome.k, "reason": outcome.reason},
+                    ["unknown at k=%d (%s; raise --bound)"
+                     % (outcome.k, outcome.reason)])
         witness = find_deadlock(stg, bound=args.bound)
         if witness is None:
             return ("no-deadlock", 0, {},
@@ -402,6 +406,37 @@ def cmd_sat_check(args) -> int:
     from .petri import Marking
 
     stg = _load(args.spec)
+
+    if args.engine == "portfolio":
+        # delegate to the fault-tolerant racing layer (same properties,
+        # portfolio verdict vocabulary — see docs/portfolio.md)
+        if args.dimacs:
+            print("error: --dimacs requires --engine sat", file=sys.stderr)
+            return 2
+        target = None
+        if args.property == "reach":
+            if not args.target:
+                print("error: --property reach requires --target",
+                      file=sys.stderr)
+                return 2
+            target = {p: 1 for p in args.target.split()}
+        options = {"bound": args.bound, "max_k": args.bound}
+        if target is not None:
+            options["target"] = target
+            options["cover"] = args.cover
+        with _Telemetry(args) as tel:
+            verdict, code, details, lines = _portfolio_verdict(
+                stg, args.property, options)
+        if args.json:
+            details = dict(details, property=args.property,
+                           bound=args.bound)
+            print(json.dumps(tel.run_report("sat-check", args.spec,
+                                            verdict, code, details),
+                             sort_keys=True))
+        else:
+            for line in lines:
+                print(line)
+        return code
 
     if args.induction and args.property != "deadlock":
         # only the deadlock query has a k-induction proof path; silently
@@ -518,6 +553,26 @@ def _bdd_check_verdict(args, stg, net):
 def cmd_bdd_check(args) -> int:
     """Symbolic BDD fixpoint queries — no state graph (Section 2.2)."""
     stg = _load(args.spec)
+    if args.engine == "portfolio":
+        if args.query == "count":
+            print("error: --query count has no portfolio mode (it is not"
+                  " a verdict query)", file=sys.stderr)
+            return 2
+        if args.reduce:
+            print("error: --reduce requires --engine bdd", file=sys.stderr)
+            return 2
+        with _Telemetry(args) as tel:
+            verdict, code, details, lines = _portfolio_verdict(
+                stg, args.query, {})
+        if args.json:
+            details = dict(details, query=args.query)
+            print(json.dumps(tel.run_report("bdd-check", args.spec,
+                                            verdict, code, details),
+                             sort_keys=True))
+        else:
+            for line in lines:
+                print(line)
+        return code
     if args.encoding == "dense" and args.query != "count":
         print("error: --encoding dense is only supported for --query count",
               file=sys.stderr)
@@ -535,6 +590,134 @@ def cmd_bdd_check(args) -> int:
     if args.json:
         details = dict(details, query=args.query)
         print(json.dumps(tel.run_report("bdd-check", args.spec, verdict,
+                                        code, details), sort_keys=True))
+    else:
+        for line in lines:
+            print(line)
+    return code
+
+
+def _portfolio_options(args, target=None) -> dict:
+    """Translate CLI flags into :func:`repro.portfolio.check_*` options."""
+    options = {"cross_validate": not getattr(args, "no_validate", False),
+               "inline": bool(getattr(args, "inline", False))}
+    if getattr(args, "deadline", None) is not None:
+        options["deadline_s"] = args.deadline
+    if getattr(args, "bound", None) is not None:
+        options["bound"] = args.bound
+    if getattr(args, "max_k", None) is not None:
+        options["max_k"] = args.max_k
+    if getattr(args, "max_states", None) is not None:
+        options["max_states"] = args.max_states
+    if getattr(args, "engines", None):
+        options["engines"] = [e.strip() for e in args.engines.split(",")
+                              if e.strip()]
+    if target is not None:
+        options["target"] = target
+        options["cover"] = bool(getattr(args, "cover", False))
+    return options
+
+
+def _portfolio_verdict(stg, query: str, options: dict):
+    """Run one portfolio query and flatten the :class:`Verdict` into the
+    ``(verdict, exit_code, details, lines)`` shape all checkers share.
+
+    Exit codes: 0 for the good answer, 1 for the bad or unknown one,
+    2 for a flagged cross-validation disagreement (``inconsistent``).
+    """
+    from . import portfolio
+
+    target = options.pop("target", None)
+    cover = options.pop("cover", False)
+    if query == "deadlock":
+        verdict = portfolio.check_deadlock(stg, **options)
+    elif query == "reach":
+        verdict = portfolio.check_reach(stg, target or {}, cover=cover,
+                                        **options)
+    elif query == "csc":
+        verdict = portfolio.check_csc(stg, **options)
+    else:
+        verdict = portfolio.check_consistency(stg, **options)
+
+    if verdict.flagged:
+        code = 2
+    elif bool(verdict) and verdict.definitive:
+        code = 0
+    else:
+        code = 1
+    details = {
+        "query": verdict.query,
+        "engine": verdict.engine,
+        "method": verdict.method,
+        "definitive": verdict.definitive,
+        "flagged": verdict.flagged,
+        "validator": verdict.validator,
+        "evidence": verdict.evidence,
+        "attempts": verdict.attempts,
+        "degradations": verdict.degradations,
+        "robustness": dict(verdict.stats),
+        "elapsed_s": round(verdict.elapsed_s, 6),
+    }
+    if verdict.witness is not None:
+        details["witness"] = list(verdict.witness)
+    if "disagreement" in verdict.details:
+        details["disagreement"] = verdict.details["disagreement"]
+
+    lines = ["%s (winner: %s/%s%s)"
+             % (verdict.verdict, verdict.engine, verdict.method,
+                ", validated by %s" % verdict.validator
+                if verdict.validator else "")]
+    if verdict.evidence:
+        lines.append("evidence: %s" % verdict.evidence)
+    if verdict.witness:
+        lines.append("witness: %s" % " ".join(verdict.witness))
+    if "disagreement" in verdict.details:
+        lines.append("DISAGREEMENT: %s" % verdict.details["disagreement"])
+    busy = {k: n for k, n in verdict.stats.items() if n}
+    lines.append("robustness: %s"
+                 % " ".join("%s=%d" % kv for kv in sorted(busy.items())))
+    return verdict.verdict, code, details, lines
+
+
+def cmd_check(args) -> int:
+    """Portfolio model checking: race the engines, cross-validate the
+    winner (see ``docs/portfolio.md``)."""
+    from .portfolio import faults
+
+    stg = _load(args.spec)
+    target = None
+    if args.query == "reach":
+        if not args.target:
+            print("error: --query reach requires --target", file=sys.stderr)
+            return 2
+        target = {p: 1 for p in args.target.split()}
+        # a bad place name is a usage error, not an engine fault — catch
+        # it here instead of letting every racer fail on it
+        net = stg.net if hasattr(stg, "net") else stg
+        for p in target:
+            if p not in net.places:
+                print("error: unknown place %r in target marking" % p,
+                      file=sys.stderr)
+                return 2
+
+    options = _portfolio_options(args, target=target)
+    if not args.portfolio and "engines" not in options:
+        # single-slot mode: keep only the schedule's first engine (its
+        # degradation ladder still applies) and skip worker processes
+        from .ts import choose_engine
+        options["engines"] = [choose_engine(stg, purpose="portfolio")[0]]
+        options["inline"] = True
+
+    installed = faults.install(args.faults) if args.faults else None
+    try:
+        with _Telemetry(args) as tel:
+            verdict, code, details, lines = _portfolio_verdict(
+                stg, args.query, options)
+    finally:
+        if installed is not None:
+            faults.clear()
+    if args.json:
+        print(json.dumps(tel.run_report("check", args.spec, verdict,
                                         code, details), sort_keys=True))
     else:
         for line in lines:
@@ -673,6 +856,9 @@ def build_parser() -> argparse.ArgumentParser:
                         " constrained)")
     p.add_argument("--dimacs", metavar="FILE",
                    help="dump the unrolled CNF in DIMACS format")
+    p.add_argument("--engine", choices=["sat", "portfolio"], default="sat",
+                   help="portfolio: race all applicable engines instead of"
+                        " running SAT alone (see `check`)")
     _add_telemetry_flags(p, json_flag=True)
     p.set_defaults(func=cmd_sat_check)
 
@@ -687,8 +873,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="BDD variable-order heuristic")
     p.add_argument("--reduce", action="store_true",
                    help="linear-reduce the net first (count/deadlock only)")
+    p.add_argument("--engine", choices=["bdd", "portfolio"], default="bdd",
+                   help="portfolio: race all applicable engines instead of"
+                        " running the BDD fixpoint alone (see `check`)")
     _add_telemetry_flags(p, json_flag=True)
     p.set_defaults(func=cmd_bdd_check)
+
+    p = sub.add_parser("check", help="fault-tolerant portfolio model"
+                                     " checking (races the engines)")
+    p.add_argument("spec")
+    p.add_argument("--query", choices=["deadlock", "reach", "csc",
+                                       "consistency"],
+                   default="deadlock")
+    p.add_argument("--portfolio", action="store_true",
+                   help="race every applicable engine in worker processes"
+                        " (default: the auto-chosen engine alone,"
+                        " in-process)")
+    p.add_argument("--engines",
+                   help="comma-separated engine slots to race (overrides"
+                        " the auto schedule; implies racing)")
+    p.add_argument("--target",
+                   help="reach: space-separated marked places")
+    p.add_argument("--cover", action="store_true",
+                   help="reach: cover query (only marked places"
+                        " constrained)")
+    p.add_argument("--deadline", type=float, metavar="SECONDS",
+                   help="per-worker wall-clock deadline")
+    p.add_argument("--bound", type=int,
+                   help="BMC depth for bounded ladder rungs")
+    p.add_argument("--max-k", type=int, dest="max_k",
+                   help="k-induction depth limit")
+    p.add_argument("--max-states", type=int, dest="max_states",
+                   help="state budget for explicit ladder rungs")
+    p.add_argument("--inline", action="store_true",
+                   help="run ladders sequentially in-process (no worker"
+                        " processes)")
+    p.add_argument("--no-validate", action="store_true", dest="no_validate",
+                   help="skip cross-validation of the winning verdict")
+    p.add_argument("--faults", metavar="SPEC",
+                   help="install a fault-injection plan for this run"
+                        " (REPRO_FAULTS syntax, e.g. 'kill:attempt=0')")
+    _add_telemetry_flags(p, json_flag=True)
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("examples", help="list bundled specifications")
     p.set_defaults(func=cmd_examples)

@@ -48,4 +48,48 @@ class VerificationError(ReproError):
 
 
 class StateExplosionError(ReproError):
-    """Raised when a state-space exploration exceeds its configured bound."""
+    """Raised when a state-space exploration exceeds its configured bound.
+
+    Carries the budget as structured data so callers (most importantly
+    the portfolio degradation ladder of :mod:`repro.portfolio`) can act
+    on the numbers without parsing the message:
+
+    * ``bound`` — the ``max_states`` budget that was exceeded;
+    * ``states`` — how many states had been explored when the budget
+      tripped (``None`` when the raising site did not count).
+    """
+
+    def __init__(self, message: str, bound=None, states=None):
+        super().__init__(message)
+        self.bound = bound
+        self.states = states
+
+
+class EngineTimeoutError(ReproError):
+    """Raised when an engine run exceeds its wall-clock deadline.
+
+    Produced by the portfolio worker layer (:mod:`repro.portfolio.workers`)
+    when a child process is still running at its per-task deadline and has
+    to be terminated.  ``deadline_s`` is the budget that was exceeded;
+    ``task`` names the engine/method combination that overran.
+    """
+
+    def __init__(self, message: str, task=None, deadline_s=None):
+        super().__init__(message)
+        self.task = task
+        self.deadline_s = deadline_s
+
+
+class WorkerCrashError(ReproError):
+    """Raised when an engine worker process dies without reporting.
+
+    Produced by the portfolio worker layer when a child exits (segfault,
+    ``os._exit``, OOM kill, injected fault) before sending a result or a
+    classified error back.  ``exitcode`` is the raw process exit code
+    (negative for a signal), ``task`` the engine/method combination.
+    """
+
+    def __init__(self, message: str, task=None, exitcode=None):
+        super().__init__(message)
+        self.task = task
+        self.exitcode = exitcode

@@ -136,7 +136,8 @@ def build_coverability_graph(net: PetriNet,
             if successor not in graph.nodes:
                 if len(graph.nodes) >= max_nodes:
                     raise StateExplosionError(
-                        "coverability graph exceeded %d nodes" % max_nodes)
+                        "coverability graph exceeded %d nodes" % max_nodes,
+                        bound=max_nodes, states=len(graph.nodes))
                 graph.nodes.add(successor)
                 stack.append((successor, ancestors + (successor,)))
     return graph

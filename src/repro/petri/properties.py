@@ -18,12 +18,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..budgets import DEFAULT_STATE_BOUND
 from ..errors import ModelError, StateExplosionError
 from .marking import Marking
 from .net import PetriNet
 from .token_game import enabled_transitions, fire
-
-DEFAULT_STATE_BOUND = 1_000_000
 
 
 def explore(net: PetriNet, max_states: int = DEFAULT_STATE_BOUND,
@@ -60,7 +59,8 @@ def explore(net: PetriNet, max_states: int = DEFAULT_STATE_BOUND,
                             )
                 if len(graph) >= max_states:
                     raise StateExplosionError(
-                        "reachability exceeded %d states" % max_states
+                        "reachability exceeded %d states" % max_states,
+                        bound=max_states, states=len(graph)
                     )
                 graph[succ] = []
                 stack.append((succ, ancestors + (succ,)))

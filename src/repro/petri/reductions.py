@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import obs
+from ..budgets import REDUCTION_STATE_BOUND
 from ..errors import ModelError
 from .net import PetriNet
 from .properties import explore
@@ -141,14 +142,17 @@ def remove_self_loop_places_step(net: PetriNet) -> bool:
     return False
 
 
-def implicit_places(net: PetriNet, max_states: int = 100_000) -> List[str]:
+def implicit_places(net: PetriNet,
+                    max_states: int = REDUCTION_STATE_BOUND) -> List[str]:
     """Behaviourally implicit places.
 
     A place ``p`` is implicit if in every reachable marking, whenever all
     *other* input places of each consumer of ``p`` are sufficiently marked,
     ``p`` is sufficiently marked too — i.e. ``p`` never restricts enabling.
     Removing an implicit place preserves the reachability graph modulo the
-    place itself.  Checked on the explicit reachability graph.
+    place itself.  Checked on the explicit reachability graph, budgeted by
+    :data:`repro.budgets.REDUCTION_STATE_BOUND` (pass ``max_states=`` to
+    override).
     """
     graph = explore(net, max_states)
     result: List[str] = []
@@ -174,7 +178,8 @@ def implicit_places(net: PetriNet, max_states: int = 100_000) -> List[str]:
     return result
 
 
-def remove_implicit_places(net: PetriNet, max_states: int = 100_000,
+def remove_implicit_places(net: PetriNet,
+                           max_states: int = REDUCTION_STATE_BOUND,
                            inplace: bool = False) -> PetriNet:
     """Remove behaviourally implicit places one at a time (re-checking after
     each removal, since implicitness of one place can depend on another)."""

@@ -1,0 +1,511 @@
+"""Fault-tolerant portfolio checks: race the engines, trust no winner.
+
+This is the orchestration layer over :mod:`repro.portfolio.workers`.
+Each ``check_*`` entry point asks :func:`repro.ts.builder.choose_engine`
+(``purpose="portfolio"``) which engines to race for the model at hand,
+builds one *degradation ladder* per engine slot (preferred method first,
+bounded fallback last), races the ladders in supervised worker
+processes, and wraps the first definitive answer in a :class:`Verdict`.
+
+The winner is then **cross-validated** before being reported:
+
+* a witness trace is replayed through the token game
+  (:mod:`repro.petri.token_game`) and its final state checked against
+  the claimed property (``validator="token-game"``);
+* a claimed dead marking is checked for enabled transitions
+  (``validator="dead-marking"``);
+* witness-free verdicts (proofs, empty fixpoints) are probed by a cheap
+  bounded query on an *independent* engine — a probe that finds a
+  counterexample within its small bound exposes the winner
+  (``validator="independent:<method>"``; a bounded miss confirms
+  nothing and disagrees with nothing).
+
+A failed validation **downgrades the verdict to** ``"inconsistent"``
+(``Verdict.flagged`` is set and both answers are kept in
+``details``) — a disagreement between engines is a finding, never
+silently resolved in either direction.  When no slot produces a
+definitive answer the portfolio concedes ``"unknown"`` and reports the
+partial evidence it gathered (bounded misses, final depths).
+
+``inline=True`` runs the same ladders sequentially in-process — no
+worker processes, same classification and degradation semantics (fault
+injection included, see :func:`repro.portfolio.faults.fire`) — for
+platforms or tests where forking is unwanted.
+
+Telemetry: each race runs under a ``portfolio.race`` span carrying the
+query, the slot schedule, the robustness counters (``attempts``,
+``retries``, ``timeouts``, ``crashes``, ``errors``, ``degradations``,
+``cancellations``) and the final verdict.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import obs
+from ..budgets import DEFAULT_STATE_BOUND
+from ..errors import (EngineTimeoutError, ModelError, StateExplosionError,
+                      UnboundedError, WorkerCrashError)
+from ..petri.marking import Marking
+from ..petri.net import PetriNet
+from ..petri.token_game import enabled_transitions, fire_sequence
+from ..stg.stg import STG
+from . import faults, tasks
+from .workers import (DEFAULT_DEADLINE_S, RaceResult, TaskOutcome, TaskSpec,
+                      race)
+
+Model = Union[PetriNet, STG]
+
+#: Default depth for SAT methods raced by the portfolio.
+DEFAULT_MAX_K = 15
+
+#: Default BMC bound for the cheapest ladder rung.
+DEFAULT_BOUND = 30
+
+#: Bound for the independent cross-validation probe: deliberately small —
+#: the probe is a smoke test for gross engine disagreement, not a second
+#: full verification run.
+PROBE_BOUND = 6
+
+
+@dataclass
+class Verdict:
+    """The portfolio's answer to one query, with its provenance.
+
+    ``verdict`` uses the per-query vocabulary of
+    :mod:`repro.portfolio.tasks` plus ``"inconsistent"`` (engines
+    disagreed — see ``flagged``).  ``engine``/``method`` identify the
+    winning rung, ``validator`` how the answer was cross-checked,
+    ``attempts``/``degradations`` and the full ``stats`` dict how much
+    fault tolerance was needed to get it, and ``details`` the winner's
+    raw payload (witness, markings, depths) plus any disagreement
+    evidence.
+    """
+
+    query: str
+    verdict: str
+    engine: str = "portfolio"
+    method: str = ""
+    definitive: bool = False
+    flagged: bool = False
+    evidence: str = ""
+    witness: Optional[List[str]] = None
+    validator: Optional[str] = None
+    elapsed_s: float = 0.0
+    attempts: int = 0
+    degradations: int = 0
+    stats: Dict[str, int] = field(default_factory=dict)
+    details: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        """True for the "good" outcome of the query (no deadlock, no
+        conflict, consistent, and — for reach — target reached)."""
+        return self.verdict in ("deadlock-free", "unreachable",
+                                "no-conflict", "consistent", "reached")
+
+
+def _net_of(model: Model) -> PetriNet:
+    return model.net if isinstance(model, STG) else model
+
+
+def _schedule(model: Model,
+              engines: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    """The slot order to race: caller override or the auto heuristic."""
+    if engines:
+        return tuple(engines)
+    from ..ts.builder import choose_engine
+    return choose_engine(model, purpose="portfolio")  # type: ignore
+
+
+def _ladders(model: Model, query: str, schedule: Tuple[str, ...],
+             max_states: int, max_k: int, bound: int, deadline_s: float,
+             target: Optional[Dict[str, int]] = None,
+             cover: bool = False) -> Dict[str, Sequence[TaskSpec]]:
+    """Build one degradation ladder per scheduled engine slot.
+
+    Each ladder starts with the slot's most informative method and
+    falls back to a bounded one, so a timeout or state explosion on the
+    strong method still yields evidence.  Slots whose engine cannot
+    answer the query at all (e.g. BDD consistency) are skipped.
+    """
+
+    def spec(slot: str, engine: str, method: str, fn, **kwargs) -> TaskSpec:
+        return TaskSpec(slot=slot, engine=engine, method=method, fn=fn,
+                        kwargs=kwargs, deadline_s=deadline_s)
+
+    ladders: Dict[str, Sequence[TaskSpec]] = {}
+    for engine in schedule:
+        slot = "explicit" if engine in ("compiled", "naive", "explicit") \
+            else engine
+        if slot in ladders:
+            continue
+        rungs: List[TaskSpec] = []
+        if query == "deadlock":
+            if slot == "sat":
+                rungs = [spec(slot, "sat", "kinduction",
+                              tasks.deadlock_kinduction, model=model,
+                              max_k=max_k),
+                         spec(slot, "sat", "bmc", tasks.deadlock_bmc,
+                              model=model, bound=bound)]
+            elif slot == "bdd":
+                rungs = [spec(slot, "bdd", "bdd", tasks.deadlock_bdd,
+                              model=model),
+                         spec(slot, "sat", "bmc", tasks.deadlock_bmc,
+                              model=model, bound=bound)]
+            elif slot == "explicit":
+                rungs = [spec(slot, engine, "explicit",
+                              tasks.deadlock_explicit, model=model,
+                              max_states=max_states),
+                         spec(slot, "sat", "bmc", tasks.deadlock_bmc,
+                              model=model, bound=bound)]
+        elif query == "reach":
+            if slot == "sat":
+                rungs = [spec(slot, "sat", "kinduction",
+                              tasks.reach_kinduction, model=model,
+                              target=target, max_k=max_k),
+                         spec(slot, "sat", "bmc", tasks.reach_bmc,
+                              model=model, target=target, bound=bound,
+                              cover=cover)]
+                if cover:  # exact-marking induction can't prove covers
+                    rungs = rungs[1:]
+            elif slot == "explicit":
+                rungs = [spec(slot, engine, "explicit",
+                              tasks.reach_explicit, model=model,
+                              target=target, max_states=max_states,
+                              cover=cover),
+                         spec(slot, "sat", "bmc", tasks.reach_bmc,
+                              model=model, target=target, bound=bound,
+                              cover=cover)]
+            # the bdd slot has no reach query variant: skip it
+        elif query == "csc":
+            if slot == "sat":
+                rungs = [spec(slot, "sat", "sat", tasks.csc_sat,
+                              stg=model, bound=bound)]
+            elif slot == "bdd":
+                rungs = [spec(slot, "bdd", "bdd", tasks.csc_bdd,
+                              stg=model),
+                         spec(slot, "sat", "sat", tasks.csc_sat,
+                              stg=model, bound=bound)]
+            elif slot == "explicit":
+                rungs = [spec(slot, engine, "explicit",
+                              tasks.csc_explicit, stg=model,
+                              max_states=max_states),
+                         spec(slot, "sat", "sat", tasks.csc_sat,
+                              stg=model, bound=bound)]
+        elif query == "consistency":
+            if slot == "sat":
+                rungs = [spec(slot, "sat", "sat", tasks.consistency_sat,
+                              stg=model, bound=bound)]
+            elif slot == "explicit":
+                rungs = [spec(slot, engine, "explicit",
+                              tasks.consistency_explicit, stg=model,
+                              max_states=max_states),
+                         spec(slot, "sat", "sat", tasks.consistency_sat,
+                              stg=model, bound=bound)]
+            # the bdd slot has no consistency query variant: skip it
+        else:
+            raise ModelError("unknown portfolio query %r" % query)
+        if rungs:
+            ladders[slot] = rungs
+    if not ladders:
+        raise ModelError(
+            "no engine in %r can answer the %r query" % (schedule, query))
+    return ladders
+
+
+# -- inline (process-free) execution ------------------------------------ #
+
+def _race_inline(ladders: Dict[str, Sequence[TaskSpec]]) -> RaceResult:
+    """Run the ladders sequentially in-process, mirroring :func:`race`.
+
+    Same classification, retry and degradation semantics as the worker
+    pool — injected ``kill``/``delay`` faults arrive pre-translated into
+    :class:`WorkerCrashError`/:class:`EngineTimeoutError` by
+    :func:`repro.portfolio.faults.fire` in inline mode — but slots run
+    one after another (schedule order) instead of concurrently, and
+    engine code runs under no deadline.
+    """
+    started = time.perf_counter()
+    outcomes: List[TaskOutcome] = []
+    stats = {"attempts": 0, "retries": 0, "timeouts": 0, "crashes": 0,
+             "errors": 0, "degradations": 0, "cancellations": 0}
+
+    def count(key: str, n: int = 1) -> None:
+        stats[key] += n
+        obs.add(key, n)
+
+    winner: Optional[TaskOutcome] = None
+    for ladder in ladders.values():
+        if winner is not None:
+            break
+        rung = 0
+        while rung < len(ladder) and winner is None:
+            spec = ladder[rung]
+            attempt = 0
+            while True:
+                count("attempts")
+                t0 = time.perf_counter()
+                failure: Optional[BaseException] = None
+                status = "error"
+                payload = None
+                try:
+                    faults.fire(spec.slot, spec.engine, spec.method,
+                                attempt, inline=True)
+                    payload = spec.fn(**spec.kwargs)
+                except EngineTimeoutError as exc:
+                    failure, status = exc, "timeout"
+                except WorkerCrashError as exc:
+                    failure, status = exc, "crash"
+                except (StateExplosionError, UnboundedError,
+                        Exception) as exc:
+                    failure, status = exc, "error"
+                elapsed = time.perf_counter() - t0
+                if failure is None:
+                    status = "ok" if payload.get("definitive") \
+                        else "partial"
+                    outcome = TaskOutcome(spec, status, payload=payload,
+                                          attempts=attempt + 1,
+                                          elapsed_s=elapsed)
+                    outcomes.append(outcome)
+                    if status == "ok":
+                        winner = outcome
+                    else:  # partial evidence closes the slot
+                        rung = len(ladder)
+                    break
+                outcomes.append(TaskOutcome(spec, status, error=failure,
+                                            attempts=attempt + 1,
+                                            elapsed_s=elapsed))
+                count({"timeout": "timeouts", "crash": "crashes"}
+                      .get(status, "errors"))
+                retryable = status in ("crash", "error") and \
+                    not isinstance(failure, StateExplosionError)
+                if retryable and attempt + 1 < spec.max_attempts:
+                    count("retries")
+                    attempt += 1
+                    continue
+                rung += 1  # degrade to the next-cheaper rung
+                if rung < len(ladder):
+                    count("degradations")
+                break
+    return RaceResult(winner=winner, outcomes=outcomes, stats=stats,
+                      elapsed_s=time.perf_counter() - started)
+
+
+# -- cross-validation --------------------------------------------------- #
+
+def _replay(net: PetriNet, trace: Sequence[str]) -> Optional[Marking]:
+    """Token-game replay; None when the trace is not fireable."""
+    try:
+        return fire_sequence(net, net.initial_marking, list(trace))
+    except (ModelError, UnboundedError):
+        return None
+
+
+def _marking(target: Dict[str, int]) -> Marking:
+    return Marking(target)
+
+
+def _same_marking(a: Marking, b: Marking) -> bool:
+    return a.covers(b) and b.covers(a)
+
+
+def _validate_witness(model: Model, query: str, payload: dict,
+                      cover: bool) -> Optional[bool]:
+    """Replay the winner's witness; None when there is nothing to replay."""
+    net = _net_of(model)
+    verdict = payload["verdict"]
+    witness = payload.get("witness")
+    if witness is not None:
+        final = _replay(net, witness)
+        if final is None:
+            return False
+        if query == "deadlock" and verdict == "deadlock":
+            return not enabled_transitions(net, final)
+        if query == "reach" and verdict == "reached":
+            goal = _marking(payload_target(payload))
+            return final.covers(goal) if cover \
+                else _same_marking(final, goal)
+        if query == "csc" and verdict == "conflict":
+            other = payload.get("witness_b")
+            return other is None or _replay(net, other) is not None
+        return True  # fireable trace; query-specific claim not replayable
+    dead = payload.get("dead_marking")
+    if query == "deadlock" and verdict == "deadlock" and dead is not None:
+        return not enabled_transitions(net, _marking(dead))
+    return None
+
+
+def payload_target(payload: dict) -> Dict[str, int]:
+    """The reach target recorded on a payload by the entry point."""
+    return payload.get("target") or {}
+
+
+#: For each (query, verdict) a *probe*: a cheap bounded task on an
+#: independent method that could expose the winner by finding a
+#: counterexample.  ``None`` verdicts carry their own witness instead.
+def _probe(model: Model, query: str, verdict: str,
+           target: Optional[Dict[str, int]], cover: bool
+           ) -> Optional[Tuple[str, dict]]:
+    """Run the independent probe; returns (probe_name, payload) or None."""
+    if query == "deadlock" and verdict == "deadlock-free":
+        return ("independent:bmc",
+                tasks.deadlock_bmc(model, bound=PROBE_BOUND))
+    if query == "reach" and verdict == "unreachable":
+        return ("independent:bmc",
+                tasks.reach_bmc(model, target or {}, bound=PROBE_BOUND,
+                                cover=cover))
+    if query == "csc" and verdict == "no-conflict":
+        return ("independent:sat",
+                tasks.csc_sat(model, bound=PROBE_BOUND))
+    if query == "consistency" and verdict == "consistent":
+        return ("independent:sat",
+                tasks.consistency_sat(model, bound=PROBE_BOUND))
+    return None
+
+
+def _cross_validate(model: Model, query: str, winner: TaskOutcome,
+                    verdict: Verdict, cover: bool) -> None:
+    """Check the winner against independent evidence; downgrade on
+    disagreement (mutates ``verdict`` in place)."""
+    # verdict.details is the winner's payload augmented with the query
+    # target by _assemble — the replay needs that target
+    payload = verdict.details
+    replayed = _validate_witness(model, query, payload, cover)
+    if replayed is True:
+        verdict.validator = "dead-marking" \
+            if payload.get("witness") is None else "token-game"
+        return
+    if replayed is False:
+        verdict.details["disagreement"] = (
+            "witness from %s/%s does not replay to the claimed %s"
+            % (winner.spec.engine, winner.spec.method, payload["verdict"]))
+        verdict.verdict = "inconsistent"
+        verdict.flagged = True
+        verdict.validator = "token-game"
+        return
+    try:
+        probed = _probe(model, query, payload["verdict"],
+                        payload_target(payload), cover)
+    except (StateExplosionError, UnboundedError, ModelError):
+        probed = None  # the probe itself failed: nothing to compare
+    if probed is None:
+        return
+    name, counter = probed
+    verdict.validator = name
+    if counter.get("definitive") and counter["verdict"] != \
+            payload["verdict"]:
+        verdict.details["disagreement"] = (
+            "%s found %r within bound %d but %s/%s claimed %r"
+            % (name, counter["verdict"], PROBE_BOUND, winner.spec.engine,
+               winner.spec.method, payload["verdict"]))
+        verdict.details["counter_evidence"] = counter
+        verdict.verdict = "inconsistent"
+        verdict.flagged = True
+
+
+# -- the entry points --------------------------------------------------- #
+
+def _check(model: Model, query: str, *,
+           engines: Optional[Sequence[str]] = None,
+           max_states: int = DEFAULT_STATE_BOUND,
+           max_k: int = DEFAULT_MAX_K,
+           bound: int = DEFAULT_BOUND,
+           deadline_s: float = DEFAULT_DEADLINE_S,
+           inline: bool = False,
+           cross_validate: bool = True,
+           target: Optional[Dict[str, int]] = None,
+           cover: bool = False) -> Verdict:
+    schedule = _schedule(model, engines)
+    ladders = _ladders(model, query, schedule, max_states, max_k, bound,
+                       deadline_s, target=target, cover=cover)
+    with obs.span("portfolio.race", query=query,
+                  slots=",".join(ladders),
+                  mode="inline" if inline else "process") as span:
+        result = _race_inline(ladders) if inline else race(ladders)
+        verdict = _assemble(model, query, result, cross_validate, target,
+                            cover)
+        span.annotate(verdict=verdict.verdict, engine=verdict.engine,
+                      method=verdict.method, flagged=verdict.flagged)
+    return verdict
+
+
+def _assemble(model: Model, query: str, result: RaceResult,
+              cross_validate: bool, target: Optional[Dict[str, int]],
+              cover: bool) -> Verdict:
+    winner = result.winner
+    if winner is None:
+        partials = [o for o in result.outcomes if o.status == "partial"]
+        evidence = "; ".join(o.payload["evidence"] for o in partials) \
+            or "every engine slot failed before producing evidence"
+        verdict = Verdict(query=query, verdict="unknown",
+                          evidence=evidence, elapsed_s=result.elapsed_s,
+                          attempts=result.stats["attempts"],
+                          degradations=result.stats["degradations"],
+                          stats=dict(result.stats))
+        verdict.details["partial"] = [o.payload for o in partials]
+        verdict.details["failures"] = [
+            "%s: %s" % (o.spec.label(), o.error)
+            for o in result.outcomes if o.error is not None]
+        return verdict
+    payload = dict(winner.payload or {})
+    if target is not None:
+        payload.setdefault("target", dict(target))
+    verdict = Verdict(query=query, verdict=payload["verdict"],
+                      engine=winner.spec.engine,
+                      method=winner.spec.method, definitive=True,
+                      evidence=payload.get("evidence", ""),
+                      witness=payload.get("witness"),
+                      elapsed_s=result.elapsed_s,
+                      attempts=result.stats["attempts"],
+                      degradations=result.stats["degradations"],
+                      stats=dict(result.stats), details=payload)
+    if cross_validate:
+        _cross_validate(model, query, winner, verdict, cover)
+    return verdict
+
+
+def check_deadlock(model: Model, **options) -> Verdict:
+    """Race the engines on "is any dead marking reachable?".
+
+    Returns a :class:`Verdict` whose ``verdict`` is ``"deadlock"``,
+    ``"deadlock-free"``, ``"unknown"`` or ``"inconsistent"`` (truthy
+    exactly when deadlock freedom was established).  Options —
+    ``engines`` (slot override), ``max_states``, ``max_k``, ``bound``,
+    ``deadline_s``, ``inline``, ``cross_validate`` — are shared by all
+    four checks, see :func:`_check`.
+    """
+    return _check(model, "deadlock", **options)
+
+
+def check_reach(model: Model, target: Dict[str, int],
+                cover: bool = False, **options) -> Verdict:
+    """Race the engines on "is the target marking reachable?".
+
+    ``target`` maps place names to token counts; with ``cover=True`` any
+    reachable marking covering it counts (and unreachability proofs are
+    skipped — only the explicit engine can then answer negatively).
+    Verdicts: ``"reached"``, ``"unreachable"``, ``"unknown"``,
+    ``"inconsistent"``.
+    """
+    return _check(model, "reach", target=dict(target), cover=cover,
+                  **options)
+
+
+def check_csc(stg: STG, **options) -> Verdict:
+    """Race the engines on complete state coding of an STG.
+
+    Verdicts: ``"conflict"``, ``"no-conflict"``, ``"unknown"``,
+    ``"inconsistent"`` — truthy exactly when CSC holds.
+    """
+    return _check(stg, "csc", **options)
+
+
+def check_consistency(stg: STG, **options) -> Verdict:
+    """Race the engines on signal-transition consistency of an STG.
+
+    Verdicts: ``"violation"``, ``"consistent"``, ``"unknown"``,
+    ``"inconsistent"`` — truthy exactly when the STG is consistent.
+    """
+    return _check(stg, "consistency", **options)

@@ -1,0 +1,436 @@
+"""The fault-tolerant worker pool behind the portfolio.
+
+Every engine run executes in a **child process** under a per-task
+wall-clock deadline, supervised by an event loop in the parent that is
+engineered to survive every way a worker can misbehave:
+
+* **deadline overrun** — the child is terminated and the outcome
+  classified as an :class:`~repro.errors.EngineTimeoutError`; the slot
+  *degrades* to the next-cheaper rung of its ladder;
+* **crash** (segfault, ``os._exit``, OOM kill, injected ``kill``
+  fault) — classified as a :class:`~repro.errors.WorkerCrashError` and
+  retried with bounded exponential backoff; when attempts are
+  exhausted the slot degrades;
+* **state explosion** — a structured
+  :class:`~repro.errors.StateExplosionError` reported by the child
+  degrades the slot immediately (retrying a deterministic blow-up is
+  wasted work);
+* **any other exception** — retried with backoff (it may be an
+  injected or transient fault), then degraded.
+
+The race ends at the **first definitive verdict**: every other live
+worker is terminated and joined before :func:`race` returns, so no
+orphan processes outlive the call (a ``finally`` block enforces this on
+every exit path, including KeyboardInterrupt).  Workers that finish
+with *partial* evidence (``definitive: False`` payloads — bounded
+searches that found nothing) close their slot and contribute their
+evidence to the eventual ``Unknown`` verdict if nobody wins.
+
+Workers are forked, so models need not be pickled on the way in;
+payloads cross back through a pipe and must be plain data (see
+:mod:`repro.portfolio.tasks`).  Fault injection
+(:mod:`repro.portfolio.faults`) hooks the child wrapper, never the
+engines themselves.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .. import obs
+from ..errors import EngineTimeoutError, StateExplosionError, WorkerCrashError
+from . import faults
+
+#: Default per-task wall-clock budget (seconds).
+DEFAULT_DEADLINE_S = 60.0
+
+#: Default bounded-attempt budget per ladder rung (1 initial + retries).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: First retry backoff; doubles per attempt, capped at BACKOFF_CAP_S.
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 2.0
+
+
+def _context():
+    """The multiprocessing context: fork where available (no pickling of
+    models on the way in), the platform default elsewhere."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+@dataclass
+class TaskSpec:
+    """One engine/method run the pool may execute.
+
+    ``fn(**kwargs)`` must be a module-level runner returning a plain
+    payload dict (:mod:`repro.portfolio.tasks`); ``slot`` names the race
+    lane the task belongs to, ``engine``/``method`` identify it in
+    outcomes, faults and telemetry.
+    """
+
+    slot: str
+    engine: str
+    method: str
+    fn: Callable[..., dict]
+    kwargs: dict = field(default_factory=dict)
+    deadline_s: float = DEFAULT_DEADLINE_S
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+
+    def label(self) -> str:
+        """Short ``slot:engine/method`` identifier for messages."""
+        return "%s:%s/%s" % (self.slot, self.engine, self.method)
+
+
+@dataclass
+class TaskOutcome:
+    """The classified result of one ladder rung (possibly after retries).
+
+    ``status`` is one of ``"ok"`` (definitive payload), ``"partial"``
+    (payload with ``definitive: False``), ``"timeout"``, ``"crash"`` or
+    ``"error"``; ``error`` carries the classified exception
+    (:class:`~repro.errors.EngineTimeoutError`,
+    :class:`~repro.errors.WorkerCrashError`, a reconstructed engine
+    error) when the rung failed.
+    """
+
+    spec: TaskSpec
+    status: str
+    payload: Optional[dict] = None
+    error: Optional[BaseException] = None
+    attempts: int = 1
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class RaceResult:
+    """What :func:`race` hands back to the orchestration layer.
+
+    ``winner`` is the first definitive outcome (or None), ``outcomes``
+    every classified rung in completion order, and ``stats`` the
+    robustness counters (``attempts``, ``retries``, ``timeouts``,
+    ``crashes``, ``errors``, ``degradations``, ``cancellations``).
+    """
+
+    winner: Optional[TaskOutcome]
+    outcomes: List[TaskOutcome]
+    stats: Dict[str, int]
+    elapsed_s: float
+
+
+def _error_attrs(exc: BaseException) -> dict:
+    """Structured attributes worth shipping across the pipe."""
+    if isinstance(exc, StateExplosionError):
+        return {"bound": exc.bound, "states": exc.states}
+    return {}
+
+
+def _worker_main(conn, spec: TaskSpec, attempt: int) -> None:
+    """Child entry point: fire faults, run the task, report, exit."""
+    try:
+        faults.fire(spec.slot, spec.engine, spec.method, attempt)
+        payload = spec.fn(**spec.kwargs)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # report everything; the parent classifies
+        try:
+            conn.send(("error", type(exc).__name__, str(exc),
+                       _error_attrs(exc)))
+        except Exception:
+            pass  # pipe gone: the parent will classify this as a crash
+    finally:
+        conn.close()
+
+
+def _rebuild_error(name: str, message: str, attrs: dict) -> BaseException:
+    """Reconstruct a child-reported exception in the parent.
+
+    Known :mod:`repro.errors` classes come back as themselves (with
+    structured attributes restored for :class:`StateExplosionError`);
+    everything else — including injected faults — becomes a
+    ``RuntimeError`` tagged with the original type name.
+    """
+    from .. import errors as errors_module
+
+    cls = getattr(errors_module, name, None)
+    if cls is StateExplosionError:
+        return StateExplosionError(message, bound=attrs.get("bound"),
+                                   states=attrs.get("states"))
+    if isinstance(cls, type) and issubclass(cls, errors_module.ReproError):
+        return cls(message)
+    return RuntimeError("%s: %s" % (name, message))
+
+
+class _Worker:
+    """One live child process plus its parent-side bookkeeping."""
+
+    __slots__ = ("spec", "attempt", "process", "conn", "started_at",
+                 "deadline_at")
+
+    def __init__(self, ctx, spec: TaskSpec, attempt: int):
+        self.spec = spec
+        self.attempt = attempt
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self.conn = parent_conn
+        self.process = ctx.Process(target=_worker_main,
+                                   args=(child_conn, spec, attempt),
+                                   daemon=True)
+        self.process.start()
+        child_conn.close()  # the parent keeps only the read end
+        self.started_at = time.perf_counter()
+        self.deadline_at = self.started_at + spec.deadline_s
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started_at
+
+    def reap(self, timeout: float = 5.0) -> None:
+        """Join the child, escalating terminate → kill; close the pipe."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout)
+        else:
+            self.process.join(timeout)
+        self.conn.close()
+
+
+class _Slot:
+    """One race lane: a ladder of rungs from preferred to cheapest."""
+
+    __slots__ = ("name", "ladder", "rung", "attempt", "worker",
+                 "restart_at", "evidence", "closed")
+
+    def __init__(self, name: str, ladder: Sequence[TaskSpec]):
+        self.name = name
+        self.ladder = list(ladder)
+        self.rung = 0
+        self.attempt = 0
+        self.worker: Optional[_Worker] = None
+        self.restart_at: Optional[float] = None
+        self.evidence: List[TaskOutcome] = []
+        self.closed = not self.ladder
+
+    @property
+    def spec(self) -> TaskSpec:
+        return self.ladder[self.rung]
+
+    def degrade(self) -> bool:
+        """Advance to the next-cheaper rung; False when exhausted."""
+        self.rung += 1
+        self.attempt = 0
+        self.restart_at = None
+        if self.rung >= len(self.ladder):
+            self.closed = True
+            return False
+        return True
+
+
+def race(ladders: Dict[str, Sequence[TaskSpec]],
+         backoff_base_s: float = BACKOFF_BASE_S,
+         backoff_cap_s: float = BACKOFF_CAP_S) -> RaceResult:
+    """Race the ladders' head rungs; first definitive verdict wins.
+
+    ``ladders`` maps slot names to degradation ladders (most-informative
+    rung first, cheapest last).  The supervision loop enforces each
+    rung's deadline, retries crashes and unclassified errors with
+    exponential backoff, degrades on timeout / state explosion /
+    exhausted retries, and cancels every loser the moment a worker
+    reports a definitive payload.  Robustness counters are also
+    forwarded to the ambient :mod:`repro.obs` span (``attempts``,
+    ``retries``, ``timeouts``, ``crashes``, ``degradations``,
+    ``cancellations``) when telemetry is armed.
+
+    Never raises on worker misbehaviour — a race with no surviving
+    definitive rung returns ``winner=None`` plus the partial evidence.
+    Guarantees no child process outlives the call.
+    """
+    ctx = _context()
+    started = time.perf_counter()
+    slots = [_Slot(name, ladder) for name, ladder in ladders.items()]
+    outcomes: List[TaskOutcome] = []
+    stats = {"attempts": 0, "retries": 0, "timeouts": 0, "crashes": 0,
+             "errors": 0, "degradations": 0, "cancellations": 0}
+    winner: Optional[TaskOutcome] = None
+
+    def count(key: str, n: int = 1) -> None:
+        stats[key] += n
+        obs.add(key, n)
+
+    def start_worker(slot: _Slot) -> None:
+        slot.worker = _Worker(ctx, slot.spec, slot.attempt)
+        slot.restart_at = None
+        count("attempts")
+
+    def stop_worker(slot: _Slot) -> None:
+        if slot.worker is not None:
+            slot.worker.reap()
+            slot.worker = None
+
+    def schedule_retry(slot: _Slot) -> None:
+        count("retries")
+        delay = min(backoff_cap_s, backoff_base_s * (2 ** slot.attempt))
+        slot.attempt += 1
+        slot.restart_at = time.perf_counter() + delay
+
+    def degrade_or_close(slot: _Slot) -> None:
+        if slot.degrade():
+            count("degradations")
+            start_worker(slot)
+
+    def settle(slot: _Slot, outcome: TaskOutcome) -> None:
+        """Record a classified rung outcome and advance the slot."""
+        nonlocal winner
+        outcomes.append(outcome)
+        if outcome.status == "ok":
+            winner = outcome
+            return
+        if outcome.status == "partial":
+            slot.evidence.append(outcome)
+            slot.closed = True
+            return
+        if outcome.status == "timeout":
+            count("timeouts")
+            degrade_or_close(slot)
+            return
+        if outcome.status == "crash":
+            count("crashes")
+        else:
+            count("errors")
+        if isinstance(outcome.error, StateExplosionError):
+            degrade_or_close(slot)  # deterministic blow-up: don't retry
+        elif slot.attempt + 1 < slot.spec.max_attempts:
+            schedule_retry(slot)
+        else:
+            degrade_or_close(slot)
+
+    def receive(slot: _Slot) -> None:
+        """Drain one ready worker connection and classify the message."""
+        worker = slot.worker
+        assert worker is not None
+        attempts = slot.attempt + 1
+        elapsed = worker.elapsed()
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        stop_worker(slot)
+        if message is None:  # died before reporting
+            exitcode = worker.process.exitcode
+            error = WorkerCrashError(
+                "worker %s died without reporting (exit code %s, attempt"
+                " %d)" % (worker.spec.label(), exitcode, slot.attempt),
+                task=worker.spec.label(), exitcode=exitcode)
+            settle(slot, TaskOutcome(worker.spec, "crash", error=error,
+                                     attempts=attempts, elapsed_s=elapsed))
+            return
+        if message[0] == "ok":
+            payload = message[1]
+            status = "ok" if payload.get("definitive") else "partial"
+            settle(slot, TaskOutcome(worker.spec, status, payload=payload,
+                                     attempts=attempts, elapsed_s=elapsed))
+            return
+        _, name, text, attrs = message
+        settle(slot, TaskOutcome(worker.spec, "error",
+                                 error=_rebuild_error(name, text, attrs),
+                                 attempts=attempts, elapsed_s=elapsed))
+
+    def expire(slot: _Slot) -> None:
+        """Terminate a worker that overran its deadline."""
+        worker = slot.worker
+        assert worker is not None
+        attempts = slot.attempt + 1
+        elapsed = worker.elapsed()
+        stop_worker(slot)
+        error = EngineTimeoutError(
+            "worker %s exceeded its %.3gs deadline"
+            % (worker.spec.label(), worker.spec.deadline_s),
+            task=worker.spec.label(), deadline_s=worker.spec.deadline_s)
+        settle(slot, TaskOutcome(worker.spec, "timeout", error=error,
+                                 attempts=attempts, elapsed_s=elapsed))
+
+    try:
+        for slot in slots:
+            if not slot.closed:
+                start_worker(slot)
+        while winner is None:
+            live = [s for s in slots if not s.closed]
+            if not live:
+                break
+            now = time.perf_counter()
+            # (re)start any worker whose backoff has elapsed
+            for slot in live:
+                if slot.worker is None and slot.restart_at is not None \
+                        and now >= slot.restart_at:
+                    start_worker(slot)
+            # how long may we sleep before something needs attention?
+            wakeups = [s.worker.deadline_at for s in live
+                       if s.worker is not None]
+            wakeups += [s.restart_at for s in live
+                        if s.worker is None and s.restart_at is not None]
+            if not wakeups:  # every live slot is settling; shouldn't linger
+                break
+            timeout = max(0.0, min(wakeups) - now)
+            by_conn = {s.worker.conn: s for s in live
+                       if s.worker is not None}
+            if by_conn:
+                ready = multiprocessing.connection.wait(
+                    list(by_conn), timeout)
+                for conn in ready:
+                    receive(by_conn[conn])
+                    if winner is not None:
+                        break
+            else:
+                time.sleep(min(timeout, 0.05))
+            if winner is not None:
+                break
+            now = time.perf_counter()
+            for slot in [s for s in slots if not s.closed]:
+                if slot.worker is not None and now >= slot.worker.deadline_at:
+                    expire(slot)
+                    if winner is not None:
+                        break
+    finally:
+        # cancel every loser: no child process outlives the race
+        for slot in slots:
+            if slot.worker is not None:
+                count("cancellations")
+                stop_worker(slot)
+
+    return RaceResult(winner=winner, outcomes=outcomes, stats=stats,
+                      elapsed_s=time.perf_counter() - started)
+
+
+def run_task(spec: TaskSpec) -> dict:
+    """Run one task in a supervised worker and return its payload.
+
+    The blocking single-task form of the pool, exposed for callers (and
+    tests) that want the classification *as exceptions*: raises
+    :class:`~repro.errors.EngineTimeoutError` on deadline overrun,
+    :class:`~repro.errors.WorkerCrashError` once crash retries are
+    exhausted, and the reconstructed engine error for in-worker
+    exceptions (retried like the race does before being raised).
+    """
+    result = race({spec.slot: [spec]})
+    if result.winner is not None:
+        return result.winner.payload
+    last = result.outcomes[-1]
+    if last.status == "partial":
+        return last.payload
+    raise last.error
+
+
+def run_ladder(ladder: Sequence[TaskSpec]) -> TaskOutcome:
+    """Run one degradation ladder to completion (no racing).
+
+    Returns the winning outcome, or the last rung's outcome when every
+    rung failed or finished with partial evidence.
+    """
+    result = race({ladder[0].slot: ladder})
+    if result.winner is not None:
+        return result.winner
+    return result.outcomes[-1]

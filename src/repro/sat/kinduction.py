@@ -71,9 +71,22 @@ class Refuted:
 
 @dataclass
 class Unknown:
-    """No counterexample and no proof up to depth ``k``."""
+    """No counterexample and no proof up to depth ``k``.
+
+    ``reason`` explains *why* the proof loop gave up, in a stable
+    vocabulary so run reports (``repro sat-check --json``) and the
+    portfolio degradation ladder can act on it without re-running:
+
+    * ``"step-satisfiable"`` — the bound was reached while the
+      inductive step still admitted a spurious path of length ``k+1``
+      despite the simple-path refinement (the normal stall: raise
+      ``max_k``);
+    * ``"bound-reached"`` — the depth loop was cut off before the step
+      case was last evaluated (e.g. ``max_k < 0``).
+    """
 
     k: int
+    reason: str = "bound-reached"
 
     def __bool__(self):
         return False
@@ -137,6 +150,7 @@ def k_induction(model, bad: TargetFn,
     """
     base = BMC(model, semantics=semantics, invariants=invariants)
     step = _StepCase(model, semantics=semantics, invariants=invariants)
+    reason = "bound-reached"
     with obs.span("sat.kinduction", net=base.net.name,
                   max_k=max_k) as span:
         for k in range(max_k + 1):
@@ -148,5 +162,8 @@ def k_induction(model, bad: TargetFn,
             if step.holds_at(bad, k):
                 span.annotate(verdict="proved", k=k)
                 return Proved(k)
-        span.annotate(verdict="unknown", k=max_k)
-    return Unknown(max_k)
+            # the step case was SAT: a spurious path of length k+1
+            # survives the simple-path refinement at this depth
+            reason = "step-satisfiable"
+        span.annotate(verdict="unknown", k=max_k, reason=reason)
+    return Unknown(max_k, reason=reason)

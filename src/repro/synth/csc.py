@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from ..budgets import REDUCTION_STATE_BOUND
 from ..errors import CSCError, ConsistencyError, ReproError, UnboundedError
 from ..petri.properties import is_live
 from ..stg.signals import SignalType
@@ -85,7 +86,7 @@ def _insertion_metrics(stg: STG, max_states: int) -> Optional[Tuple[int, int]]:
 
 
 def enumerate_insertions(stg: STG, signal: str = "csc0",
-                         max_states: int = 100_000,
+                         max_states: int = REDUCTION_STATE_BOUND,
                          full_only: bool = True) -> List[InsertionCandidate]:
     """Single-signal insertions (rise/fall before non-input events) that
     keep the specification well-formed.
@@ -125,7 +126,7 @@ def enumerate_insertions(stg: STG, signal: str = "csc0",
 
 def resolve_csc(stg: STG, signal_prefix: str = "csc",
                 max_signals: int = 4,
-                max_states: int = 100_000) -> STG:
+                max_states: int = REDUCTION_STATE_BOUND) -> STG:
     """Resolve all CSC conflicts by iterative state-signal insertion.
 
     Inserts ``csc0``, ``csc1``, ... (one rising and one falling transition
@@ -155,7 +156,7 @@ def resolve_csc(stg: STG, signal_prefix: str = "csc",
 
 
 def resolve_by_concurrency_reduction(stg: STG,
-                                     max_states: int = 100_000) -> Tuple[STG, Tuple[str, str]]:
+                                     max_states: int = REDUCTION_STATE_BOUND) -> Tuple[STG, Tuple[str, str]]:
     """Resolve CSC by delaying one non-input event after another.
 
     Searches ordered pairs ``(first, second)`` where ``second`` is a

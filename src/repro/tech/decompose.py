@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..budgets import DECOMPOSE_STATE_BOUND
 from ..errors import SynthesisError
 from ..boolmin.cube import Cube
 from ..boolmin.expr import And, BoolExpr, Not, Or, Var, from_cubes
@@ -134,13 +135,16 @@ def _candidate_exprs(target_rows: List[Tuple[Dict[str, int], int]],
 def decompose(stg: STG, max_fanin: int = 2,
               temp_prefix: str = "map",
               max_netlists: int = 400,
-              max_states: int = 200_000) -> Netlist:
+              max_states: int = DECOMPOSE_STATE_BOUND) -> Netlist:
     """Decompose the complex-gate implementation of ``stg`` into gates of
     at most ``max_fanin`` literals, hazard-freely.
 
     The specification must already satisfy CSC.  Returns the first
     speed-independent decomposed netlist found; raises
-    :class:`SynthesisError` if the bounded search fails.
+    :class:`SynthesisError` if the bounded search fails.  Each candidate
+    verification is budgeted by
+    :data:`repro.budgets.DECOMPOSE_STATE_BOUND` states (pass
+    ``max_states=`` to override).
     """
     if max_fanin != 2:
         raise SynthesisError("only two-input decomposition is implemented")

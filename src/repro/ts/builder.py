@@ -38,14 +38,24 @@ The ``"bdd"`` engine has query variants too
 (:mod:`repro.bdd.queries`: ``reachable_count``, ``find_deadlock``,
 ``csc_conflict_chf``) that answer without materialising anything —
 prefer those over graph construction when only the answer is needed.
+
+The sixth name, ``"portfolio"``, is likewise query-only: it names the
+fault-tolerant orchestration layer of :mod:`repro.portfolio`, which
+*races* the other engines in worker processes (per-task deadlines,
+retry-with-backoff, degradation to cheaper engines) and cross-validates
+the winner — see ``docs/portfolio.md``.  Requesting it here raises
+:class:`~repro.errors.ModelError` with a pointer to
+:mod:`repro.portfolio` (``check_deadlock``, ``check_reach``,
+``check_csc``, ``check_consistency``).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from .. import obs
 from ..bdd.symbolic import SymbolicReachability
+from ..budgets import DEFAULT_STATE_BOUND
 from ..errors import ModelError, StateExplosionError, UnboundedError
 from ..petri.compiled import compile_net, supports_compilation
 from ..petri.marking import Marking
@@ -54,15 +64,13 @@ from ..petri.token_game import enabled_transitions, fire
 from ..stg.stg import STG
 from .transition_system import TransitionSystem
 
-DEFAULT_STATE_BOUND = 1_000_000
-
-ENGINES = ("auto", "compiled", "naive", "bdd", "sat")
+ENGINES = ("auto", "compiled", "naive", "bdd", "sat", "portfolio")
 
 
 def choose_engine(model: Union[PetriNet, STG],
                   initial: Optional[Marking] = None,
                   require_safe: bool = True,
-                  purpose: str = "graph") -> str:
+                  purpose: str = "graph") -> Union[str, Tuple[str, ...]]:
     """The ``engine="auto"`` selection heuristic, exposed for callers.
 
     ``purpose="graph"`` answers "which engine should *build* the
@@ -78,6 +86,14 @@ def choose_engine(model: Union[PetriNet, STG],
     else ``"sat"`` (:mod:`repro.sat.queries` — bounded search and
     k-induction).  Query engines keep working at sizes where every
     graph-building engine exceeds its state budget.
+
+    ``purpose="portfolio"`` answers "which engines should the
+    :mod:`repro.portfolio` layer race, and in what slot order" — the
+    only purpose returning a *tuple*, ordered by predicted win: the SAT
+    query engine first (cheapest definitive answers on the library
+    corpus), then ``"bdd"`` when the net is in the symbolic domain
+    (ordinary arcs, safe initial marking), then the graph engine that
+    ``purpose="graph"`` would pick as the exhaustive anchor.
     """
     net = model.net if isinstance(model, STG) else model
     if initial is None:
@@ -90,8 +106,16 @@ def choose_engine(model: Union[PetriNet, STG],
         if net.has_ordinary_arcs() and initial.is_safe():
             return "bdd"
         return "sat"
-    raise ModelError("unknown purpose %r (expected 'graph' or 'query')"
-                     % purpose)
+    if purpose == "portfolio":
+        schedule = ["sat"]
+        if net.has_ordinary_arcs() and initial.is_safe():
+            schedule.append("bdd")
+        schedule.append(choose_engine(net, initial,
+                                      require_safe=require_safe,
+                                      purpose="graph"))
+        return tuple(schedule)
+    raise ModelError("unknown purpose %r (expected 'graph', 'query' or"
+                     " 'portfolio')" % purpose)
 
 
 def build_reachability_graph(model: Union[PetriNet, STG],
@@ -106,7 +130,8 @@ def build_reachability_graph(model: Union[PetriNet, STG],
 
     ``engine`` selects the exploration engine: ``"auto"``, ``"compiled"``,
     ``"naive"`` or ``"bdd"`` build the graph (bit-identically); ``"sat"``
-    is query-only and raises with a pointer to :mod:`repro.sat.queries`.
+    and ``"portfolio"`` are query-only and raise with a pointer to
+    :mod:`repro.sat.queries` / :mod:`repro.portfolio`.
     See the module docstring and ``docs/engines.md``.  Requesting the
     compiled or bdd engine for a model outside its domain raises
     :class:`ModelError`.
@@ -148,6 +173,13 @@ def build_reachability_graph(model: Union[PetriNet, STG],
             " reachability graph; use repro.sat.queries (reach_marking,"
             " find_deadlock, csc_conflict, ...) or repro.bdd.queries"
             " instead of build_reachability_graph")
+    if engine == "portfolio":
+        # the portfolio races query engines; it never builds the graph
+        raise ModelError(
+            "engine='portfolio' races query engines with deadlines and"
+            " degradation; use repro.portfolio (check_deadlock,"
+            " check_reach, check_csc, check_consistency) instead of"
+            " build_reachability_graph")
     raise ModelError(
         "unknown engine %r (expected one of %s)" % (engine, ENGINES))
 
@@ -206,7 +238,8 @@ def _build_compiled(net: PetriNet, initial: Marking,
                     if len(seen) >= max_states:
                         raise StateExplosionError(
                             "reachability graph exceeded %d states"
-                            % max_states)
+                            % max_states,
+                            bound=max_states, states=len(seen))
                     seen.add(succ)
                     arcs_of[succ] = []
                     next_frontier.append(
@@ -254,7 +287,8 @@ def _build_naive(net: PetriNet, initial: Marking, max_states: int,
                 if succ not in seen:
                     if len(seen) >= max_states:
                         raise StateExplosionError(
-                            "reachability graph exceeded %d states" % max_states
+                            "reachability graph exceeded %d states" % max_states,
+                            bound=max_states, states=len(seen)
                         )
                     seen.add(succ)
                     next_frontier.append(succ)

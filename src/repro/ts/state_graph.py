@@ -251,8 +251,10 @@ def build_state_graph(stg: STG,
     contraction) and :class:`~repro.errors.ConsistencyError` for
     inconsistent ones.  ``engine`` selects the reachability engine —
     ``"auto"``, ``"compiled"``, ``"naive"`` or ``"bdd"`` all yield the
-    same graph, while the query-only ``"sat"`` engine raises; see
-    :func:`~repro.ts.builder.build_reachability_graph`.
+    same graph, while the query-only ``"sat"`` and ``"portfolio"``
+    engines raise; see
+    :func:`~repro.ts.builder.build_reachability_graph` (and
+    :mod:`repro.portfolio` for the racing layer).
     """
     ts = build_reachability_graph(stg, max_states=max_states,
                                   require_safe=require_safe, engine=engine)

@@ -276,7 +276,8 @@ def unfold(net: PetriNet, max_events: int = 10_000) -> Unfolding:
         eid = len(unf.events)
         if eid >= max_events:
             raise StateExplosionError("unfolding exceeded %d events"
-                                      % max_events)
+                                      % max_events,
+                                      bound=max_events, states=eid)
         full_config = frozenset(config | {eid})
         event = Event(eid, t, preset, full_config, Marking({}))
         unf.events.append(event)

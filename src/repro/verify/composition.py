@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..budgets import COMPOSE_STATE_BOUND
 from ..errors import StateExplosionError, VerificationError
 from ..petri.compiled import compile_net, supports_compilation
 from ..petri.marking import Marking
@@ -142,7 +143,7 @@ def stable_internal_values(netlist: Netlist, values: Dict[str, int],
 def verify_circuit(netlist: Netlist, spec: STG,
                    priorities: Sequence[Tuple[str, str]] = (),
                    initial_internal: Optional[Mapping[str, int]] = None,
-                   max_states: int = 500_000,
+                   max_states: int = COMPOSE_STATE_BOUND,
                    stop_at_first: bool = False,
                    keep_ts: bool = False) -> VerificationReport:
     """Explore the circuit ⊗ environment composition and report hazards,
@@ -342,7 +343,8 @@ def verify_circuit(netlist: Netlist, spec: STG,
             if successor not in visited:
                 if len(visited) >= max_states:
                     raise StateExplosionError(
-                        "composition exceeded %d states" % max_states)
+                        "composition exceeded %d states" % max_states,
+                        bound=max_states, states=len(visited))
                 visited.add(successor)
                 parent[successor] = (state, event_str)
                 stack.append(successor)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..budgets import DECOMPOSE_STATE_BOUND
 from ..errors import ModelError, StateExplosionError
 from ..stg.signals import SignalType
 from ..stg.stg import STG
@@ -42,7 +43,7 @@ def check_connection(a: STG, b: STG) -> List[str]:
 
 
 def compose_specifications(a: STG, b: STG,
-                           max_states: int = 200_000) -> TransitionSystem:
+                           max_states: int = DECOMPOSE_STATE_BOUND) -> TransitionSystem:
     """Synchronous product of two STG behaviours.
 
     States are pairs of component states; arcs are labelled with signal
@@ -96,7 +97,8 @@ def compose_specifications(a: STG, b: STG,
             if succ not in seen:
                 if len(seen) >= max_states:
                     raise StateExplosionError(
-                        "composition exceeded %d states" % max_states)
+                        "composition exceeded %d states" % max_states,
+                        bound=max_states, states=len(seen))
                 seen.add(succ)
                 stack.append(succ)
     return ts
@@ -117,7 +119,7 @@ def composed_signal_types(a: STG, b: STG) -> Dict[str, SignalType]:
 
 
 def compose_to_stg(a: STG, b: STG, name: str = "composed",
-                   max_states: int = 200_000) -> STG:
+                   max_states: int = DECOMPOSE_STATE_BOUND) -> STG:
     """Compose two specifications and re-synthesize an STG via regions.
 
     Requires excitation closure of the composed behaviour (holds for the

@@ -103,7 +103,8 @@ def python_blocks(path: Path):
 
 
 @pytest.mark.parametrize("document", [
-    "README.md", "docs/engines.md", "docs/observability.md"])
+    "README.md", "docs/engines.md", "docs/observability.md",
+    "docs/portfolio.md"])
 def test_documentation_code_blocks_execute(document):
     """README quickstart, the engine guide and the observability guide
     run verbatim, top to bottom, in one shared namespace per document."""
