@@ -6,18 +6,41 @@ and times the computation with pytest-benchmark.  EXPERIMENTS.md records
 the paper-vs-measured comparison for each.
 
 A timed run additionally writes one ``BENCH_<suite>.json`` per
-benchmarked module (schema ``repro-bench/1``, see
+benchmarked module (schema ``repro-bench/2``, see
 :mod:`repro.obs.schema`) next to the invocation directory — the
-machine-readable counterpart of pytest-benchmark's terminal table, and
-the artifact CI uploads per run.  The files are gitignored; a
+machine-readable counterpart of pytest-benchmark's terminal table, the
+artifact CI uploads per run, and the input of ``repro obs regress``.
+Each document carries a ``meta`` block (git commit, UTC timestamp,
+python and platform strings) so a report can always be traced back to
+the code and machine that produced it.  The files are gitignored; a
 ``--benchmark-disable`` smoke pass records no timings and writes
 nothing.
 """
 
+import datetime
 import json
 import os
+import platform as _platform
+import subprocess
 
 import pytest
+
+
+def _bench_meta():
+    """The provenance block of a ``repro-bench/2`` document."""
+    try:
+        commit = subprocess.check_output(
+            ["git", "rev-parse", "HEAD"], cwd=os.path.dirname(__file__),
+            stderr=subprocess.DEVNULL).decode().strip()
+    except Exception:
+        commit = "unknown"
+    return {
+        "git_commit": commit,
+        "timestamp_utc": datetime.datetime.utcnow().strftime(
+            "%Y-%m-%dT%H:%M:%SZ"),
+        "python": _platform.python_version(),
+        "platform": _platform.platform(),
+    }
 
 
 def pytest_configure(config):
@@ -29,10 +52,12 @@ def pytest_sessionfinish(session, exitstatus):
     """Write per-suite ``BENCH_<suite>.json`` benchmark reports.
 
     One file per benchmarked test module, named after the module stem,
-    each a single ``repro-bench/1`` document: suite name plus one row
-    (name, group, mean/stddev seconds, rounds) per benchmark, sorted by
-    name so identical runs produce byte-stable files.  Skipped when no
-    timings exist (``--benchmark-disable``, collection errors).
+    each a single ``repro-bench/2`` document: suite name, a ``meta``
+    provenance block, plus one row (name, group, mean/stddev seconds,
+    rounds) per benchmark, sorted by name so identical runs produce
+    byte-stable files (up to ``meta``).  Every document is validated
+    against the schema before it is written.  Skipped when no timings
+    exist (``--benchmark-disable``, collection errors).
     """
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None or not getattr(bench_session, "benchmarks", None):
@@ -51,12 +76,20 @@ def pytest_sessionfinish(session, exitstatus):
             "stddev_s": stats.stddev,
             "rounds": stats.rounds,
         })
+    from repro.obs import validate_bench_report
+
+    meta = _bench_meta()
     for suite, rows in sorted(suites.items()):
         document = {
-            "schema": "repro-bench/1",
+            "schema": "repro-bench/2",
             "suite": suite,
+            "meta": meta,
             "benchmarks": sorted(rows, key=lambda r: r["name"]),
         }
+        problems = validate_bench_report(document)
+        if problems:
+            raise RuntimeError("BENCH_%s.json would be invalid: %s"
+                               % (suite, "; ".join(problems)))
         with open("BENCH_%s.json" % suite, "w") as f:
             json.dump(document, f, indent=2, sort_keys=True)
             f.write("\n")

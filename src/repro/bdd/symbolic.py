@@ -175,7 +175,10 @@ def traced_traversal(name: str, bdd: BDD, compute: Callable[[], int],
     ``cache_hit_rate``, and the ``peak_nodes`` gauge (the node table
     only grows, so its size is the peak).  The fixpoint's
     ``image_iterations`` counter lands on the same span via
-    :func:`repro.obs.add`.  Disabled, this is a single boolean check
+    :func:`repro.obs.add`.  The manager's :meth:`~repro.bdd.bdd.BDD.stats`
+    doubles as the heartbeat progress provider while the traversal runs
+    (live node counts for portfolio workers, see
+    :mod:`repro.obs.remote`).  Disabled, this is a single boolean check
     plus the plain ``compute()`` call.
     """
     if not obs.enabled():
@@ -183,7 +186,11 @@ def traced_traversal(name: str, bdd: BDD, compute: Callable[[], int],
     lookups = bdd.ite_lookups
     hits = bdd.ite_hits
     with obs.span(name, **tags) as span:
-        result = compute()
+        obs.push_progress(bdd.stats)
+        try:
+            result = compute()
+        finally:
+            obs.pop_progress()
         d_lookups = bdd.ite_lookups - lookups
         d_hits = bdd.ite_hits - hits
         span.add("ite_lookups", d_lookups)

@@ -17,11 +17,17 @@ Usage::
     python -m repro bdd-check spec.g --query count --stats --trace run.jsonl
     python -m repro dot spec.g
     python -m repro examples --list
+    python -m repro obs report run.jsonl
+    python -m repro obs diff before.jsonl after.jsonl
+    python -m repro obs regress BENCH_*.json --baseline benchmarks/baselines.json
+    python -m repro obs lint run.jsonl
 
 Observability: ``--stats`` prints a per-span table to stderr,
 ``--trace FILE`` streams span records as JSONL, and (on ``sat-check`` /
 ``bdd-check``) ``--json`` replaces the human output with a versioned
-machine-readable run report — see ``docs/observability.md``.
+machine-readable run report.  The ``obs`` family turns those artifacts
+into decisions: span-tree reports, trace diffs, schema lint and
+noise-aware benchmark regression checks — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -735,6 +741,92 @@ def cmd_examples(args) -> int:
     return 0
 
 
+def cmd_obs_report(args) -> int:
+    """Span-tree flamegraph of a recorded trace (``repro obs report``)."""
+    from .obs import analyze
+
+    try:
+        records = analyze.read_trace(args.trace)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print(analyze.render_report(records))
+    if args.coverage:
+        share = analyze.coverage(records, args.coverage)
+        print("coverage(%s): %.1f%% of wall-clock attributed to child"
+              " spans" % (args.coverage, share * 100.0))
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    """Per-span comparison of two traces (``repro obs diff``)."""
+    import os
+
+    from .obs import analyze
+
+    try:
+        a = analyze.read_trace(args.a)
+        b = analyze.read_trace(args.b)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print(analyze.render_diff(a, b,
+                              a_label=os.path.basename(args.a) or "a",
+                              b_label=os.path.basename(args.b) or "b"))
+    return 0
+
+
+def cmd_obs_regress(args) -> int:
+    """Noise-aware benchmark regression check (``repro obs regress``).
+
+    Exit codes: 0 when every benchmark is within thresholds, 1 when at
+    least one regressed beyond recorded noise, 2 on unloadable or
+    schema-invalid input.
+    """
+    from .obs import analyze
+
+    try:
+        baseline = analyze.load_baseline(args.baseline)
+        docs = [analyze.load_bench_file(p) for p in args.bench]
+    except (OSError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    entries = analyze.compare_bench(docs, baseline, rel_tol=args.rel_tol,
+                                    sigma=args.sigma,
+                                    min_abs_s=args.min_abs)
+    print(analyze.render_regress(entries))
+    return 1 if any(e["status"] == "regression" for e in entries) else 0
+
+
+def cmd_obs_baseline(args) -> int:
+    """Distil ``BENCH_*.json`` files into a committed baseline document
+    (``repro obs baseline``)."""
+    from .obs import analyze
+
+    try:
+        docs = [analyze.load_bench_file(p) for p in args.bench]
+    except (OSError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    doc = analyze.make_baseline(docs)
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print("# wrote %s (%d suites)" % (args.output, len(doc["suites"])))
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_obs_lint(args) -> int:
+    """Trace-schema lint (``repro obs lint``) — same checks and exit
+    codes as the ``python -m repro.obs`` module alias."""
+    from .obs.__main__ import main as lint_main
+
+    return lint_main(args.traces)
+
+
 def _add_telemetry_flags(p: argparse.ArgumentParser,
                          json_flag: bool = False) -> None:
     """Attach the shared observability flags to a subcommand parser.
@@ -918,6 +1010,56 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("examples", help="list bundled specifications")
     p.set_defaults(func=cmd_examples)
+
+    p = sub.add_parser("obs", help="telemetry analysis: trace reports,"
+                                   " diffs, lint, benchmark regression")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser("report", help="span-tree flamegraph of a"
+                                          " JSONL trace")
+    q.add_argument("trace", help="repro-trace/1 JSONL file (from --trace)")
+    q.add_argument("--coverage", metavar="SPAN",
+                   help="also print how much of SPAN's wall-clock its"
+                        " child spans cover (e.g. portfolio.race)")
+    q.set_defaults(func=cmd_obs_report)
+
+    q = obs_sub.add_parser("diff", help="compare two traces per span name")
+    q.add_argument("a", help="baseline trace (JSONL)")
+    q.add_argument("b", help="candidate trace (JSONL)")
+    q.set_defaults(func=cmd_obs_diff)
+
+    q = obs_sub.add_parser("regress", help="judge BENCH_*.json against the"
+                                           " committed baseline")
+    q.add_argument("bench", nargs="+",
+                   help="BENCH_<suite>.json files (repro-bench/1 or /2)")
+    q.add_argument("--baseline", default="benchmarks/baselines.json",
+                   help="repro-bench-baseline/1 document (default:"
+                        " benchmarks/baselines.json)")
+    q.add_argument("--rel-tol", type=float, dest="rel_tol", default=0.15,
+                   help="relative threshold as a fraction of the baseline"
+                        " mean (default 0.15)")
+    q.add_argument("--sigma", type=float, default=3.0,
+                   help="noise threshold in combined standard deviations"
+                        " (default 3.0)")
+    q.add_argument("--min-abs", type=float, dest="min_abs", default=0.001,
+                   help="absolute floor in seconds below which movements"
+                        " never count (default 0.001)")
+    q.set_defaults(func=cmd_obs_regress)
+
+    q = obs_sub.add_parser("baseline", help="distil BENCH_*.json files into"
+                                            " a baseline document")
+    q.add_argument("bench", nargs="+",
+                   help="BENCH_<suite>.json files (later files win on"
+                        " suite collisions)")
+    q.add_argument("-o", "--output",
+                   help="write the baseline here instead of stdout")
+    q.set_defaults(func=cmd_obs_baseline)
+
+    q = obs_sub.add_parser("lint", help="validate traces against the"
+                                        " repro-trace/1 schema")
+    q.add_argument("traces", nargs="+",
+                   help="JSONL trace files to validate")
+    q.set_defaults(func=cmd_obs_lint)
     return parser
 
 

@@ -17,7 +17,16 @@ the library's zero-dependency rule or its performance:
   and the CLI's ``--stats`` table, plus a JSONL trace writer for
   ``--trace FILE``;
 * **schemas** (:mod:`repro.obs.schema`) — versioned, validated shapes
-  for trace lines and the CLI's ``--json`` run reports.
+  for trace lines, the CLI's ``--json`` run reports, benchmark
+  artifacts and the committed benchmark baseline;
+* **remote** (:mod:`repro.obs.remote`) — cross-process propagation:
+  portfolio workers stream their span trees over the result pipe and
+  beat a heartbeat side channel; the supervisor merges both into the
+  parent trace under the owning ``portfolio.race`` span;
+* **analysis** (:mod:`repro.obs.analyze`) — the ``repro obs`` CLI
+  family: span-tree reports (a text flamegraph), trace diffs, and
+  noise-aware benchmark regression checks against
+  ``benchmarks/baselines.json``.
 
 The whole layer keys off one switch: the ``REPRO_TRACE`` environment
 variable or :func:`~repro.obs.core.enable`.  Disabled (the default),
@@ -41,16 +50,23 @@ from .core import (
     disable,
     enable,
     enabled,
+    pop_progress,
+    push_progress,
     remove_sink,
     reset,
+    sample_progress,
     set_gauge,
     span,
     tracing,
 )
 from .schema import (
+    BASELINE_SCHEMA,
     BENCH_SCHEMA,
+    BENCH_SCHEMAS,
     REPORT_SCHEMA,
     TRACE_SCHEMA,
+    validate_baseline,
+    validate_bench_report,
     validate_run_report,
     validate_trace_file,
     validate_trace_record,
@@ -61,8 +77,11 @@ from .sinks import JsonlSink, MemorySink, report
 __all__ = [
     "ENV_VAR", "Counter", "Gauge", "NullSpan", "Span",
     "active_sinks", "add", "add_sink", "current", "disable", "enable",
-    "enabled", "remove_sink", "reset", "set_gauge", "span", "tracing",
-    "BENCH_SCHEMA", "REPORT_SCHEMA", "TRACE_SCHEMA",
+    "enabled", "pop_progress", "push_progress", "remove_sink", "reset",
+    "sample_progress", "set_gauge", "span", "tracing",
+    "BASELINE_SCHEMA", "BENCH_SCHEMA", "BENCH_SCHEMAS",
+    "REPORT_SCHEMA", "TRACE_SCHEMA",
+    "validate_baseline", "validate_bench_report",
     "validate_run_report", "validate_trace_file", "validate_trace_record",
     "validate_trace_text",
     "JsonlSink", "MemorySink", "report",

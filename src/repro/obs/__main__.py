@@ -1,9 +1,10 @@
 """Trace-schema lint: ``python -m repro.obs TRACE.jsonl [...]``.
 
-Validates each file against the ``repro-trace/1`` JSONL schema
-(:func:`repro.obs.schema.validate_trace_file`) and prints every problem
-found.  Exit code 0 iff all files are valid — the CI trace lint step
-fails the build on malformed instrumentation output.
+Module-entry-point alias of ``repro obs lint`` — both run the same
+:func:`main` below.  Validates each file against the ``repro-trace/1``
+JSONL schema (:func:`repro.obs.schema.validate_trace_file`) and prints
+every problem found.  Exit code 0 iff all files are valid — the CI
+trace lint step fails the build on malformed instrumentation output.
 """
 
 from __future__ import annotations

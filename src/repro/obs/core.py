@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 Number = Union[int, float]
 
@@ -41,7 +41,11 @@ _sinks: List[Any] = []
 _stack: List["Span"] = []
 _seq: int = 0
 #: perf_counter origin: span start times are reported relative to this.
+#: Forked worker processes inherit the parent's origin, so their record
+#: timestamps land on the same axis as the parent's (perf_counter is
+#: CLOCK_MONOTONIC on Linux — system-wide, not per-process).
 _origin: float = time.perf_counter()
+_progress: List[Callable[[], Dict[str, Number]]] = []
 
 
 def enabled() -> bool:
@@ -99,12 +103,82 @@ def reset() -> None:
     _enabled = os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
     del _sinks[:]
     del _stack[:]
+    del _progress[:]
     _seq = 0
 
 
 def current() -> Optional["Span"]:
     """The innermost active span, or None outside any span."""
     return _stack[-1] if _stack else None
+
+
+def next_seq() -> int:
+    """Allocate the next record sequence number.
+
+    Spans take one automatically on entry; :mod:`repro.obs.remote` takes
+    them when re-basing worker records into the parent trace, so every
+    record of a merged trace keeps a unique ``seq``.
+    """
+    global _seq
+    seq = _seq
+    _seq += 1
+    return seq
+
+
+def rel_time(at: Optional[float] = None) -> float:
+    """A ``perf_counter`` instant (default: now) relative to the trace
+    origin — the time axis every record's ``start_s`` is reported on."""
+    return (time.perf_counter() if at is None else at) - _origin
+
+
+def dispatch(record: Dict[str, Any]) -> None:
+    """Hand one completed record to every registered sink.
+
+    Spans dispatch themselves on exit; :mod:`repro.obs.remote` uses this
+    to inject re-based worker records into the parent's sinks.
+    """
+    for sink in _sinks:
+        sink.handle(record)
+
+
+def push_progress(fn: Callable[[], Dict[str, Number]]) -> None:
+    """Install ``fn`` as the innermost progress provider.
+
+    A provider is a cheap zero-argument callable returning a dict of
+    numeric progress figures (e.g. ``Solver.stats`` or ``BDD.stats``).
+    The worker heartbeat thread (:mod:`repro.obs.remote`) samples the
+    innermost provider to annotate each heartbeat with live engine
+    progress.  Providers nest: engines push on entry and pop on exit, so
+    the sample always reflects the deepest running computation.
+    """
+    _progress.append(fn)
+
+
+def pop_progress() -> None:
+    """Remove the innermost progress provider (no-op when none)."""
+    if _progress:
+        _progress.pop()
+
+
+def sample_progress() -> Optional[Dict[str, Number]]:
+    """One numeric snapshot from the innermost progress provider.
+
+    Returns None when no provider is installed or the provider fails —
+    heartbeats must never die because an engine was mid-mutation.  Only
+    numeric values survive the sample (the heartbeat record stores them
+    as gauges).
+    """
+    if not _progress:
+        return None
+    try:
+        values = _progress[-1]()
+    except Exception:
+        return None
+    if not isinstance(values, dict):
+        return None
+    return {k: v for k, v in values.items()
+            if isinstance(k, str) and not isinstance(v, bool)
+            and isinstance(v, (int, float))}
 
 
 class Counter:
@@ -208,13 +282,11 @@ class Span:
     # -- lifecycle ------------------------------------------------------ #
 
     def __enter__(self) -> "Span":
-        global _seq
         parent = _stack[-1] if _stack else None
         if parent is not None:
             self.parent = parent.name
             self.depth = parent.depth + 1
-        self.seq = _seq
-        _seq += 1
+        self.seq = next_seq()
         _stack.append(self)
         self.start = time.perf_counter() - _origin
         return self
@@ -225,9 +297,7 @@ class Span:
             self.error = exc_type.__name__
         if _stack and _stack[-1] is self:
             _stack.pop()
-        record = self.to_record()
-        for sink in _sinks:
-            sink.handle(record)
+        dispatch(self.to_record())
         return None
 
     def to_record(self) -> Dict[str, Any]:

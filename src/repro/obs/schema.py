@@ -14,10 +14,27 @@ trace lint, external tooling) can reject what they don't understand:
      "counters": {"states": 1304, "arcs": 3968},
      "gauges": {"states_per_sec": 32500.1}}
 
+Worker heartbeats (:mod:`repro.obs.remote`) share the record shape with
+``"event": "heartbeat"`` and ``duration_s`` 0 — an instantaneous
+liveness/progress sample rather than a timed interval.  Both events are
+``repro-trace/1``; the addition is backward compatible because every
+field keeps its meaning.
+
 **Run reports** (``repro-run-report/1``) — the single document printed
 by ``repro sat-check --json`` / ``repro bdd-check --json``: command,
 verdict, result details, and the per-span aggregate produced by
 :meth:`repro.obs.sinks.MemorySink.stats`.
+
+**Benchmark reports** (``repro-bench/2``) — the ``BENCH_<suite>.json``
+document written by ``benchmarks/conftest.py`` after a timed run: suite
+name, a ``meta`` block aligning the run with history (git commit, UTC
+timestamp, python and platform), and one row per benchmark with mean,
+stddev and round count.  Version 1 (no ``meta``) is still accepted by
+the validator so older artifacts keep linting clean.
+
+**Bench baselines** (``repro-bench-baseline/1``) — the committed
+``benchmarks/baselines.json`` consumed by ``repro obs regress``: per
+suite, per benchmark, the reference mean/stddev/rounds.
 
 The validators return a list of human-readable problems (empty == valid)
 rather than raising, so the CI lint can report every defect of a file in
@@ -36,7 +53,16 @@ TRACE_SCHEMA = "repro-trace/1"
 REPORT_SCHEMA = "repro-run-report/1"
 
 #: Version tag carried by every ``BENCH_<suite>.json`` benchmark record.
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
+
+#: Every accepted benchmark-report version (v1 predates the meta block).
+BENCH_SCHEMAS = ("repro-bench/1", "repro-bench/2")
+
+#: Version tag of the committed ``benchmarks/baselines.json``.
+BASELINE_SCHEMA = "repro-bench-baseline/1"
+
+#: Trace record event kinds: timed spans and instantaneous heartbeats.
+TRACE_EVENTS = ("span", "heartbeat")
 
 _SCALAR = (str, int, float, bool, type(None))
 
@@ -62,9 +88,10 @@ def validate_trace_record(record: Any) -> List[str]:
     if record.get("schema") != TRACE_SCHEMA:
         problems.append("schema: expected %r, got %r"
                         % (TRACE_SCHEMA, record.get("schema")))
-    if record.get("event") != "span":
-        problems.append("event: expected 'span', got %r"
-                        % (record.get("event"),))
+    if record.get("event") not in TRACE_EVENTS:
+        problems.append("event: expected one of %s, got %r"
+                        % ("/".join(repr(e) for e in TRACE_EVENTS),
+                           record.get("event")))
     name = record.get("name")
     if not isinstance(name, str) or not name:
         problems.append("name: expected a non-empty string, got %r" % (name,))
@@ -166,4 +193,101 @@ def validate_run_report(report: Any) -> List[str]:
                             " got %r" % (where, time_s))
         _check_numbers(problems, where + ".counters", agg.get("counters"))
         _check_numbers(problems, where + ".gauges", agg.get("gauges"))
+    return problems
+
+
+#: String fields every ``repro-bench/2`` meta block must carry.
+BENCH_META_KEYS = ("git_commit", "timestamp_utc", "python", "platform")
+
+
+def _check_bench_row(problems: List[str], where: str, row: Any) -> None:
+    """Append the problems of one benchmark row."""
+    if not isinstance(row, dict):
+        problems.append("%s: expected an object, got %r" % (where, row))
+        return
+    name = row.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append("%s.name: expected a non-empty string, got %r"
+                        % (where, name))
+    group = row.get("group", "missing")
+    if group is not None and not isinstance(group, str):
+        problems.append("%s.group: expected a string or null, got %r"
+                        % (where, group))
+    for key in ("mean_s", "stddev_s"):
+        v = row.get(key)
+        if isinstance(v, bool) or not isinstance(v, (int, float)) or v < 0:
+            problems.append("%s.%s: expected a non-negative number, got %r"
+                            % (where, key, v))
+    rounds = row.get("rounds")
+    if isinstance(rounds, bool) or not isinstance(rounds, int) or rounds < 1:
+        problems.append("%s.rounds: expected a positive int, got %r"
+                        % (where, rounds))
+
+
+def validate_bench_report(report: Any) -> List[str]:
+    """Problems of one ``BENCH_<suite>.json`` document (empty == valid).
+
+    Accepts every version in :data:`BENCH_SCHEMAS`; the ``meta`` block
+    (git commit, UTC timestamp, python, platform) is required from
+    ``repro-bench/2`` on.
+    """
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["report is not an object: %r" % (report,)]
+    schema = report.get("schema")
+    if schema not in BENCH_SCHEMAS:
+        problems.append("schema: expected one of %s, got %r"
+                        % ("/".join(repr(s) for s in BENCH_SCHEMAS), schema))
+    suite = report.get("suite")
+    if not isinstance(suite, str) or not suite:
+        problems.append("suite: expected a non-empty string, got %r"
+                        % (suite,))
+    rows = report.get("benchmarks")
+    if not isinstance(rows, list):
+        problems.append("benchmarks: expected a list, got %r" % (rows,))
+    else:
+        for i, row in enumerate(rows):
+            _check_bench_row(problems, "benchmarks[%d]" % i, row)
+    if schema == BENCH_SCHEMA:
+        meta = report.get("meta")
+        if not isinstance(meta, dict):
+            problems.append("meta: expected an object, got %r" % (meta,))
+        else:
+            for key in BENCH_META_KEYS:
+                v = meta.get(key)
+                if not isinstance(v, str) or not v:
+                    problems.append(
+                        "meta.%s: expected a non-empty string, got %r"
+                        % (key, v))
+    return problems
+
+
+def validate_baseline(doc: Any) -> List[str]:
+    """Problems of a ``benchmarks/baselines.json`` document
+    (``repro-bench-baseline/1``; empty list == valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["baseline is not an object: %r" % (doc,)]
+    if doc.get("schema") != BASELINE_SCHEMA:
+        problems.append("schema: expected %r, got %r"
+                        % (BASELINE_SCHEMA, doc.get("schema")))
+    suites = doc.get("suites")
+    if not isinstance(suites, dict):
+        problems.append("suites: expected an object, got %r" % (suites,))
+        return problems
+    for suite, rows in suites.items():
+        if not isinstance(suite, str) or not suite:
+            problems.append("suites: non-string suite key %r" % (suite,))
+        if not isinstance(rows, dict):
+            problems.append("suites[%r]: expected an object, got %r"
+                            % (suite, rows))
+            continue
+        for name, row in rows.items():
+            where = "suites[%r][%r]" % (suite, name)
+            if not isinstance(row, dict):
+                problems.append("%s: expected an object, got %r"
+                                % (where, row))
+                continue
+            _check_bench_row(problems, where,
+                             dict(row, name=name, group=row.get("group")))
     return problems

@@ -99,7 +99,11 @@ class JsonlSink:
 
     def __init__(self, target: Union[str, IO[str]]):
         if isinstance(target, str):
-            self._fp: IO[str] = open(target, "w")
+            # line-buffered: every record reaches the OS as it is
+            # written, so a killed or crashed process leaves a complete
+            # prefix on disk rather than whatever happened to fill a
+            # block buffer
+            self._fp: IO[str] = open(target, "w", buffering=1)
             self._owns = True
         else:
             self._fp = target

@@ -12,7 +12,11 @@ engine worker misbehave on demand:
   an :class:`~repro.errors.EngineTimeoutError` and degrades the slot to
   the next-cheaper engine;
 * ``raise`` — the worker raises :class:`InjectedFault` mid-run: the
-  supervisor records the error and retries.
+  supervisor records the error and retries;
+* ``stall`` — the worker's heartbeat goes silent
+  (:func:`repro.obs.remote.suppress_heartbeats`) while the task sleeps:
+  the supervisor's stall detector fires well before the hard deadline
+  and degrades the slot.
 
 Faults are described by *rules* that match a task's slot name, engine,
 method and attempt index, installed either programmatically
@@ -44,7 +48,7 @@ from typing import List, Optional, Sequence, Union
 
 ENV_VAR = "REPRO_FAULTS"
 
-ACTIONS = ("kill", "delay", "raise")
+ACTIONS = ("kill", "delay", "raise", "stall")
 
 #: Exit code used by the ``kill`` action (distinctive in ps output and
 #: in :class:`~repro.errors.WorkerCrashError.exitcode`).
@@ -109,7 +113,7 @@ class FaultRule:
         if self.p < 1.0:
             pairs.append("p=%g" % self.p)
             pairs.append("seed=%d" % self.seed)
-        if self.action == "delay":
+        if self.action in ("delay", "stall"):
             pairs.append("seconds=%g" % self.seconds)
         return self.action + (":" + ",".join(pairs) if pairs else "")
 
@@ -235,6 +239,16 @@ def fire(slot: str, engine: str, method: str, attempt: int,
                     task=slot, deadline_s=rule.seconds)
             time.sleep(rule.seconds)
             return "delay"
+        if rule.action == "stall":
+            if inline:
+                from ..errors import EngineTimeoutError
+                raise EngineTimeoutError(
+                    "injected stall of %s (inline mode)" % slot,
+                    task=slot, deadline_s=rule.seconds)
+            from ..obs import remote
+            remote.suppress_heartbeats()
+            time.sleep(rule.seconds)
+            return "stall"
         raise InjectedFault(
             "injected fault in %s (%s/%s, attempt %d)"
             % (slot, engine, method, attempt))

@@ -34,8 +34,13 @@ platforms or tests where forking is unwanted.
 
 Telemetry: each race runs under a ``portfolio.race`` span carrying the
 query, the slot schedule, the robustness counters (``attempts``,
-``retries``, ``timeouts``, ``crashes``, ``errors``, ``degradations``,
-``cancellations``) and the final verdict.
+``retries``, ``timeouts``, ``stalls``, ``crashes``, ``errors``,
+``degradations``, ``cancellations``) and the final verdict.  In process
+mode the workers' own span trees and heartbeat events stream back over
+their pipes and are merged under the ``portfolio.race`` span with
+slot/engine/attempt attribution (:mod:`repro.obs.remote`), so a
+``--trace`` file attributes the race's wall-clock to named worker-side
+engine spans.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ from ..errors import (EngineTimeoutError, ModelError, StateExplosionError,
 from ..petri.marking import Marking
 from ..petri.net import PetriNet
 from ..petri.token_game import enabled_transitions, fire_sequence
+from ..obs.remote import DEFAULT_HEARTBEAT_S
 from ..stg.stg import STG
 from . import faults, tasks
 from .workers import (DEFAULT_DEADLINE_S, RaceResult, TaskOutcome, TaskSpec,
@@ -122,7 +128,9 @@ def _schedule(model: Model,
 def _ladders(model: Model, query: str, schedule: Tuple[str, ...],
              max_states: int, max_k: int, bound: int, deadline_s: float,
              target: Optional[Dict[str, int]] = None,
-             cover: bool = False) -> Dict[str, Sequence[TaskSpec]]:
+             cover: bool = False,
+             heartbeat_s: float = DEFAULT_HEARTBEAT_S
+             ) -> Dict[str, Sequence[TaskSpec]]:
     """Build one degradation ladder per scheduled engine slot.
 
     Each ladder starts with the slot's most informative method and
@@ -133,7 +141,8 @@ def _ladders(model: Model, query: str, schedule: Tuple[str, ...],
 
     def spec(slot: str, engine: str, method: str, fn, **kwargs) -> TaskSpec:
         return TaskSpec(slot=slot, engine=engine, method=method, fn=fn,
-                        kwargs=kwargs, deadline_s=deadline_s)
+                        kwargs=kwargs, deadline_s=deadline_s,
+                        heartbeat_s=heartbeat_s)
 
     ladders: Dict[str, Sequence[TaskSpec]] = {}
     for engine in schedule:
@@ -229,8 +238,9 @@ def _race_inline(ladders: Dict[str, Sequence[TaskSpec]]) -> RaceResult:
     """
     started = time.perf_counter()
     outcomes: List[TaskOutcome] = []
-    stats = {"attempts": 0, "retries": 0, "timeouts": 0, "crashes": 0,
-             "errors": 0, "degradations": 0, "cancellations": 0}
+    stats = {"attempts": 0, "retries": 0, "timeouts": 0, "stalls": 0,
+             "crashes": 0, "errors": 0, "degradations": 0,
+             "cancellations": 0}
 
     def count(key: str, n: int = 1) -> None:
         stats[key] += n
@@ -416,10 +426,12 @@ def _check(model: Model, query: str, *,
            inline: bool = False,
            cross_validate: bool = True,
            target: Optional[Dict[str, int]] = None,
-           cover: bool = False) -> Verdict:
+           cover: bool = False,
+           heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> Verdict:
     schedule = _schedule(model, engines)
     ladders = _ladders(model, query, schedule, max_states, max_k, bound,
-                       deadline_s, target=target, cover=cover)
+                       deadline_s, target=target, cover=cover,
+                       heartbeat_s=heartbeat_s)
     with obs.span("portfolio.race", query=query,
                   slots=",".join(ladders),
                   mode="inline" if inline else "process") as span:
@@ -462,7 +474,13 @@ def _assemble(model: Model, query: str, result: RaceResult,
                       degradations=result.stats["degradations"],
                       stats=dict(result.stats), details=payload)
     if cross_validate:
-        _cross_validate(model, query, winner, verdict, cover)
+        # a named phase of the race span: witness replay plus the
+        # independent probe, so the merged trace attributes the
+        # post-race tail as validation work rather than a black hole
+        with obs.span("portfolio.validate", query=query) as vspan:
+            _cross_validate(model, query, winner, verdict, cover)
+            vspan.annotate(validator=verdict.validator or "none",
+                           flagged=verdict.flagged)
     return verdict
 
 
@@ -473,8 +491,8 @@ def check_deadlock(model: Model, **options) -> Verdict:
     ``"deadlock-free"``, ``"unknown"`` or ``"inconsistent"`` (truthy
     exactly when deadlock freedom was established).  Options —
     ``engines`` (slot override), ``max_states``, ``max_k``, ``bound``,
-    ``deadline_s``, ``inline``, ``cross_validate`` — are shared by all
-    four checks, see :func:`_check`.
+    ``deadline_s``, ``heartbeat_s``, ``inline``, ``cross_validate`` —
+    are shared by all four checks, see :func:`_check`.
     """
     return _check(model, "deadlock", **options)
 

@@ -16,7 +16,23 @@ engineered to survive every way a worker can misbehave:
   degrades the slot immediately (retrying a deterministic blow-up is
   wasted work);
 * **any other exception** — retried with backoff (it may be an
-  injected or transient fault), then degraded.
+  injected or transient fault), then degraded;
+* **stall** — every worker beats a heartbeat side channel
+  (:mod:`repro.obs.remote`) on a fixed interval; a worker silent for
+  :data:`STALL_FACTOR` × that interval is treated as hung *before* its
+  hard deadline, classified as an
+  :class:`~repro.errors.EngineTimeoutError` and degraded like a
+  timeout.
+
+Telemetry crosses the process boundary with the results: when tracing
+is armed, each worker streams its span records over the result pipe as
+they close and the supervisor merges them under the ambient
+``portfolio.race`` span with slot/engine/attempt attribution
+(:func:`repro.obs.remote.merge_worker_record`).  Workers the supervisor
+stops before they can report — cancelled losers, deadline overruns,
+crashes, stalls — get their ``worker.task`` interval synthesized from
+the parent's own clock, so the merged trace attributes every second a
+child process ran.
 
 The race ends at the **first definitive verdict**: every other live
 worker is terminated and joined before :func:`race` returns, so no
@@ -42,6 +58,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import obs
 from ..errors import EngineTimeoutError, StateExplosionError, WorkerCrashError
+from ..obs import remote
 from . import faults
 
 #: Default per-task wall-clock budget (seconds).
@@ -53,6 +70,14 @@ DEFAULT_MAX_ATTEMPTS = 3
 #: First retry backoff; doubles per attempt, capped at BACKOFF_CAP_S.
 BACKOFF_BASE_S = 0.05
 BACKOFF_CAP_S = 2.0
+
+#: A worker silent for this many heartbeat intervals is declared hung.
+#: Generous on purpose: a healthy worker beats every interval, so the
+#: detector only fires after ~20 consecutive missed beats (5 s at the
+#: default interval) — beyond scheduler jitter on a loaded CI runner
+#: and beyond the GC pauses a heavy engine run can inflict on the
+#: beating thread, yet still far ahead of the 60 s hard deadline.
+STALL_FACTOR = 20.0
 
 
 def _context():
@@ -80,6 +105,9 @@ class TaskSpec:
     kwargs: dict = field(default_factory=dict)
     deadline_s: float = DEFAULT_DEADLINE_S
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    #: Interval between worker heartbeats; 0 disables the side channel
+    #: (and with it the stall detector) for this task.
+    heartbeat_s: float = remote.DEFAULT_HEARTBEAT_S
 
     def label(self) -> str:
         """Short ``slot:engine/method`` identifier for messages."""
@@ -91,7 +119,8 @@ class TaskOutcome:
     """The classified result of one ladder rung (possibly after retries).
 
     ``status`` is one of ``"ok"`` (definitive payload), ``"partial"``
-    (payload with ``definitive: False``), ``"timeout"``, ``"crash"`` or
+    (payload with ``definitive: False``), ``"timeout"``, ``"stall"``
+    (hung per the heartbeat detector), ``"crash"`` or
     ``"error"``; ``error`` carries the classified exception
     (:class:`~repro.errors.EngineTimeoutError`,
     :class:`~repro.errors.WorkerCrashError`, a reconstructed engine
@@ -113,7 +142,8 @@ class RaceResult:
     ``winner`` is the first definitive outcome (or None), ``outcomes``
     every classified rung in completion order, and ``stats`` the
     robustness counters (``attempts``, ``retries``, ``timeouts``,
-    ``crashes``, ``errors``, ``degradations``, ``cancellations``).
+    ``stalls``, ``crashes``, ``errors``, ``degradations``,
+    ``cancellations``).
     """
 
     winner: Optional[TaskOutcome]
@@ -129,20 +159,37 @@ def _error_attrs(exc: BaseException) -> dict:
     return {}
 
 
-def _worker_main(conn, spec: TaskSpec, attempt: int) -> None:
-    """Child entry point: fire faults, run the task, report, exit."""
-    try:
-        faults.fire(spec.slot, spec.engine, spec.method, attempt)
-        payload = spec.fn(**spec.kwargs)
-        conn.send(("ok", payload))
-    except BaseException as exc:  # report everything; the parent classifies
+def _worker_main(conn, hb_conn, spec: TaskSpec, attempt: int) -> None:
+    """Child entry point: arm telemetry, fire faults, run, report, exit.
+
+    The telemetry context streams span records over ``conn`` while the
+    task runs and beats ``hb_conn`` from a daemon thread; it is closed
+    *before* the final result message, so the parent receives the
+    worker's complete span tree ahead of the verdict that settles the
+    slot.
+    """
+    final = None
+    telemetry = remote.worker_telemetry(
+        conn, hb_conn, slot=spec.slot, engine=spec.engine,
+        method=spec.method, attempt=attempt, heartbeat_s=spec.heartbeat_s)
+    with telemetry:
         try:
-            conn.send(("error", type(exc).__name__, str(exc),
-                       _error_attrs(exc)))
-        except Exception:
-            pass  # pipe gone: the parent will classify this as a crash
+            faults.fire(spec.slot, spec.engine, spec.method, attempt)
+            payload = spec.fn(**spec.kwargs)
+            telemetry.annotate(outcome="ok")
+            final = ("ok", payload)
+        except BaseException as exc:  # report everything; parent classifies
+            telemetry.annotate(outcome="error", error=type(exc).__name__)
+            final = ("error", type(exc).__name__, str(exc),
+                     _error_attrs(exc))
+    try:
+        conn.send(final)
+    except Exception:
+        pass  # pipe gone: the parent will classify this as a crash
     finally:
         conn.close()
+        if hb_conn is not None:
+            hb_conn.close()
 
 
 def _rebuild_error(name: str, message: str, attrs: dict) -> BaseException:
@@ -167,27 +214,45 @@ def _rebuild_error(name: str, message: str, attrs: dict) -> BaseException:
 class _Worker:
     """One live child process plus its parent-side bookkeeping."""
 
-    __slots__ = ("spec", "attempt", "process", "conn", "started_at",
-                 "deadline_at")
+    __slots__ = ("spec", "attempt", "process", "conn", "hb_conn",
+                 "started_at", "deadline_at", "last_beat", "hb_eof",
+                 "root_reported")
 
     def __init__(self, ctx, spec: TaskSpec, attempt: int):
         self.spec = spec
         self.attempt = attempt
         parent_conn, child_conn = ctx.Pipe(duplex=False)
+        hb_parent, hb_child = ctx.Pipe(duplex=False)
         self.conn = parent_conn
-        self.process = ctx.Process(target=_worker_main,
-                                   args=(child_conn, spec, attempt),
-                                   daemon=True)
-        self.process.start()
-        child_conn.close()  # the parent keeps only the read end
+        self.hb_conn = hb_parent
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, hb_child, spec, attempt), daemon=True)
+        # stamp before the fork so the synthetic span of a worker that
+        # never reports covers the process-start latency it caused
         self.started_at = time.perf_counter()
+        self.process.start()
+        child_conn.close()  # the parent keeps only the read ends
+        hb_child.close()
         self.deadline_at = self.started_at + spec.deadline_s
+        # the stall clock starts at launch; the first real beat arrives
+        # as soon as the child's heartbeat thread spins up
+        self.last_beat = self.started_at
+        self.hb_eof = spec.heartbeat_s <= 0
+        self.root_reported = False
 
     def elapsed(self) -> float:
         return time.perf_counter() - self.started_at
 
+    def stall_at(self) -> Optional[float]:
+        """Instant at which this worker counts as hung, or None when the
+        stall detector is off for its task."""
+        if self.spec.heartbeat_s <= 0:
+            return None
+        return self.last_beat + self.spec.heartbeat_s * STALL_FACTOR
+
     def reap(self, timeout: float = 5.0) -> None:
-        """Join the child, escalating terminate → kill; close the pipe."""
+        """Join the child, escalating terminate → kill; close the pipes."""
         if self.process.is_alive():
             self.process.terminate()
             self.process.join(timeout)
@@ -197,6 +262,7 @@ class _Worker:
         else:
             self.process.join(timeout)
         self.conn.close()
+        self.hb_conn.close()
 
 
 class _Slot:
@@ -237,13 +303,17 @@ def race(ladders: Dict[str, Sequence[TaskSpec]],
 
     ``ladders`` maps slot names to degradation ladders (most-informative
     rung first, cheapest last).  The supervision loop enforces each
-    rung's deadline, retries crashes and unclassified errors with
-    exponential backoff, degrades on timeout / state explosion /
-    exhausted retries, and cancels every loser the moment a worker
-    reports a definitive payload.  Robustness counters are also
+    rung's deadline, watches the heartbeat side channel (a worker silent
+    for :data:`STALL_FACTOR` heartbeat intervals is treated as hung and
+    degraded before its deadline), retries crashes and unclassified
+    errors with exponential backoff, degrades on timeout / stall / state
+    explosion / exhausted retries, and cancels every loser the moment a
+    worker reports a definitive payload.  Robustness counters are also
     forwarded to the ambient :mod:`repro.obs` span (``attempts``,
-    ``retries``, ``timeouts``, ``crashes``, ``degradations``,
-    ``cancellations``) when telemetry is armed.
+    ``retries``, ``timeouts``, ``stalls``, ``crashes``,
+    ``degradations``, ``cancellations``) when telemetry is armed — and
+    each worker's span records and heartbeats are merged into the
+    parent trace as they stream in (:mod:`repro.obs.remote`).
 
     Never raises on worker misbehaviour — a race with no surviving
     definitive rung returns ``winner=None`` plus the partial evidence.
@@ -253,8 +323,9 @@ def race(ladders: Dict[str, Sequence[TaskSpec]],
     started = time.perf_counter()
     slots = [_Slot(name, ladder) for name, ladder in ladders.items()]
     outcomes: List[TaskOutcome] = []
-    stats = {"attempts": 0, "retries": 0, "timeouts": 0, "crashes": 0,
-             "errors": 0, "degradations": 0, "cancellations": 0}
+    stats = {"attempts": 0, "retries": 0, "timeouts": 0, "stalls": 0,
+             "crashes": 0, "errors": 0, "degradations": 0,
+             "cancellations": 0}
     winner: Optional[TaskOutcome] = None
 
     def count(key: str, n: int = 1) -> None:
@@ -266,10 +337,51 @@ def race(ladders: Dict[str, Sequence[TaskSpec]],
         slot.restart_at = None
         count("attempts")
 
-    def stop_worker(slot: _Slot) -> None:
-        if slot.worker is not None:
-            slot.worker.reap()
-            slot.worker = None
+    def handle_telemetry(worker: _Worker, message) -> None:
+        """Absorb one ("span"/"heartbeat", record) worker message."""
+        kind, record = message[0], message[1]
+        worker.last_beat = time.perf_counter()  # any message is liveness
+        if kind == "span" and (record.get("parent") is None
+                               or record.get("name") == remote.TASK_SPAN):
+            worker.root_reported = True
+        if obs.enabled():
+            remote.merge_worker_record(record, slot=worker.spec.slot,
+                                       attempt=worker.attempt)
+
+    def salvage_telemetry(worker: _Worker) -> None:
+        """Drain telemetry already in a worker's pipes before reaping it,
+        so records a loser streamed before cancellation still merge."""
+        for conn in (worker.conn, worker.hb_conn):
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    break
+                if isinstance(message, tuple) and message \
+                        and message[0] in ("span", "heartbeat"):
+                    handle_telemetry(worker, message)
+                # a final verdict that lost the race is dropped
+
+    def stop_worker(slot: _Slot, outcome: Optional[str] = None) -> None:
+        worker = slot.worker
+        if worker is None:
+            return
+        if obs.enabled():
+            salvage_telemetry(worker)
+        worker.reap()
+        if obs.enabled() and not worker.root_reported:
+            # the child never closed its root span (killed, hung,
+            # cancelled): attribute its lifetime — including the
+            # terminate/join we just paid for it — from our own clock
+            remote.synthesize_task_record(
+                started_at=worker.started_at,
+                stopped_at=time.perf_counter(),
+                slot=worker.spec.slot, engine=worker.spec.engine,
+                method=worker.spec.method, attempt=worker.attempt,
+                outcome=outcome or "stopped")
+        slot.worker = None
 
     def schedule_retry(slot: _Slot) -> None:
         count("retries")
@@ -293,8 +405,8 @@ def race(ladders: Dict[str, Sequence[TaskSpec]],
             slot.evidence.append(outcome)
             slot.closed = True
             return
-        if outcome.status == "timeout":
-            count("timeouts")
+        if outcome.status in ("timeout", "stall"):
+            count("timeouts" if outcome.status == "timeout" else "stalls")
             degrade_or_close(slot)
             return
         if outcome.status == "crash":
@@ -309,35 +421,64 @@ def race(ladders: Dict[str, Sequence[TaskSpec]],
             degrade_or_close(slot)
 
     def receive(slot: _Slot) -> None:
-        """Drain one ready worker connection and classify the message."""
+        """Drain a ready worker connection: absorb telemetry messages,
+        classify and settle on the final result (or on EOF = crash)."""
         worker = slot.worker
         assert worker is not None
         attempts = slot.attempt + 1
-        elapsed = worker.elapsed()
-        try:
-            message = worker.conn.recv()
-        except (EOFError, OSError):
-            message = None
-        stop_worker(slot)
-        if message is None:  # died before reporting
-            exitcode = worker.process.exitcode
-            error = WorkerCrashError(
-                "worker %s died without reporting (exit code %s, attempt"
-                " %d)" % (worker.spec.label(), exitcode, slot.attempt),
-                task=worker.spec.label(), exitcode=exitcode)
-            settle(slot, TaskOutcome(worker.spec, "crash", error=error,
+        while slot.worker is not None:
+            try:
+                if not worker.conn.poll(0):
+                    return  # telemetry only so far; the task is running
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                message = None
+            if message is not None and isinstance(message, tuple) \
+                    and message and message[0] in ("span", "heartbeat"):
+                handle_telemetry(worker, message)
+                continue
+            elapsed = worker.elapsed()
+            stop_worker(slot, outcome="crash" if message is None else None)
+            if message is None:  # died before reporting
+                exitcode = worker.process.exitcode
+                error = WorkerCrashError(
+                    "worker %s died without reporting (exit code %s,"
+                    " attempt %d)" % (worker.spec.label(), exitcode,
+                                      slot.attempt),
+                    task=worker.spec.label(), exitcode=exitcode)
+                settle(slot, TaskOutcome(worker.spec, "crash", error=error,
+                                         attempts=attempts,
+                                         elapsed_s=elapsed))
+                return
+            if message[0] == "ok":
+                payload = message[1]
+                status = "ok" if payload.get("definitive") else "partial"
+                settle(slot, TaskOutcome(worker.spec, status,
+                                         payload=payload, attempts=attempts,
+                                         elapsed_s=elapsed))
+                return
+            _, name, text, attrs = message
+            settle(slot, TaskOutcome(worker.spec, "error",
+                                     error=_rebuild_error(name, text, attrs),
                                      attempts=attempts, elapsed_s=elapsed))
             return
-        if message[0] == "ok":
-            payload = message[1]
-            status = "ok" if payload.get("definitive") else "partial"
-            settle(slot, TaskOutcome(worker.spec, status, payload=payload,
-                                     attempts=attempts, elapsed_s=elapsed))
+
+    def drain_heartbeats(slot: _Slot) -> None:
+        """Absorb everything pending on a worker's heartbeat channel."""
+        worker = slot.worker
+        if worker is None:
             return
-        _, name, text, attrs = message
-        settle(slot, TaskOutcome(worker.spec, "error",
-                                 error=_rebuild_error(name, text, attrs),
-                                 attempts=attempts, elapsed_s=elapsed))
+        while True:
+            try:
+                if not worker.hb_conn.poll(0):
+                    return
+                message = worker.hb_conn.recv()
+            except (EOFError, OSError):
+                # channel closed (worker exiting); the result pipe
+                # decides how the rung ends
+                worker.hb_eof = True
+                return
+            handle_telemetry(worker, message)
 
     def expire(slot: _Slot) -> None:
         """Terminate a worker that overran its deadline."""
@@ -345,12 +486,29 @@ def race(ladders: Dict[str, Sequence[TaskSpec]],
         assert worker is not None
         attempts = slot.attempt + 1
         elapsed = worker.elapsed()
-        stop_worker(slot)
+        stop_worker(slot, outcome="timeout")
         error = EngineTimeoutError(
             "worker %s exceeded its %.3gs deadline"
             % (worker.spec.label(), worker.spec.deadline_s),
             task=worker.spec.label(), deadline_s=worker.spec.deadline_s)
         settle(slot, TaskOutcome(worker.spec, "timeout", error=error,
+                                 attempts=attempts, elapsed_s=elapsed))
+
+    def expire_stalled(slot: _Slot) -> None:
+        """Terminate a worker whose heartbeat went silent (hung)."""
+        worker = slot.worker
+        assert worker is not None
+        attempts = slot.attempt + 1
+        elapsed = worker.elapsed()
+        silent_s = time.perf_counter() - worker.last_beat
+        stop_worker(slot, outcome="stall")
+        error = EngineTimeoutError(
+            "worker %s stalled: no heartbeat for %.3gs (interval %.3gs,"
+            " deadline %.3gs away)"
+            % (worker.spec.label(), silent_s, worker.spec.heartbeat_s,
+               max(0.0, worker.deadline_at - time.perf_counter())),
+            task=worker.spec.label(), deadline_s=worker.spec.deadline_s)
+        settle(slot, TaskOutcome(worker.spec, "stall", error=error,
                                  attempts=attempts, elapsed_s=elapsed))
 
     try:
@@ -368,20 +526,30 @@ def race(ladders: Dict[str, Sequence[TaskSpec]],
                         and now >= slot.restart_at:
                     start_worker(slot)
             # how long may we sleep before something needs attention?
-            wakeups = [s.worker.deadline_at for s in live
-                       if s.worker is not None]
-            wakeups += [s.restart_at for s in live
-                        if s.worker is None and s.restart_at is not None]
+            wakeups = []
+            for s in live:
+                if s.worker is not None:
+                    wakeups.append(s.worker.deadline_at)
+                    stall_at = s.worker.stall_at()
+                    if stall_at is not None:
+                        wakeups.append(stall_at)
+                elif s.restart_at is not None:
+                    wakeups.append(s.restart_at)
             if not wakeups:  # every live slot is settling; shouldn't linger
                 break
             timeout = max(0.0, min(wakeups) - now)
-            by_conn = {s.worker.conn: s for s in live
+            results = {s.worker.conn: s for s in live
                        if s.worker is not None}
-            if by_conn:
+            beats = {s.worker.hb_conn: s for s in live
+                     if s.worker is not None and not s.worker.hb_eof}
+            if results:
                 ready = multiprocessing.connection.wait(
-                    list(by_conn), timeout)
+                    list(results) + list(beats), timeout)
                 for conn in ready:
-                    receive(by_conn[conn])
+                    if conn in beats:
+                        drain_heartbeats(beats[conn])
+                    else:
+                        receive(results[conn])
                     if winner is not None:
                         break
             else:
@@ -390,16 +558,23 @@ def race(ladders: Dict[str, Sequence[TaskSpec]],
                 break
             now = time.perf_counter()
             for slot in [s for s in slots if not s.closed]:
-                if slot.worker is not None and now >= slot.worker.deadline_at:
+                worker = slot.worker
+                if worker is None:
+                    continue
+                if now >= worker.deadline_at:
                     expire(slot)
-                    if winner is not None:
-                        break
+                else:
+                    stall_at = worker.stall_at()
+                    if stall_at is not None and now >= stall_at:
+                        expire_stalled(slot)
+                if winner is not None:
+                    break
     finally:
         # cancel every loser: no child process outlives the race
         for slot in slots:
             if slot.worker is not None:
                 count("cancellations")
-                stop_worker(slot)
+                stop_worker(slot, outcome="cancelled")
 
     return RaceResult(winner=winner, outcomes=outcomes, stats=stats,
                       elapsed_s=time.perf_counter() - started)

@@ -391,8 +391,10 @@ class Solver:
 
         When :func:`repro.obs.enabled` each call opens a ``sat.solve``
         span recording the per-call deltas of the :meth:`stats` counters
-        and the sat/unsat outcome; disabled, the only cost is one
-        boolean check.
+        and the sat/unsat outcome, and installs :meth:`stats` as the
+        heartbeat progress provider (live conflict/decision counts for
+        portfolio workers, see :mod:`repro.obs.remote`); disabled, the
+        only cost is one boolean check.
         """
         if not obs.enabled():
             return self._solve(assumptions)
@@ -400,7 +402,11 @@ class Solver:
                   self.restarts)
         with obs.span("sat.solve", vars=self.n_vars,
                       assumptions=len(assumptions)) as span:
-            result = self._solve(assumptions)
+            obs.push_progress(self.stats)
+            try:
+                result = self._solve(assumptions)
+            finally:
+                obs.pop_progress()
             span.annotate(result="sat" if result else "unsat")
             span.add("calls")
             span.add("conflicts", self.conflicts - before[0])

@@ -218,33 +218,42 @@ def _build_compiled(net: PetriNet, initial: Marking,
     arcs_of = {root: []}
     seen = {root}
     frontier = [(root, compiled.enabled_mask(root))]
-    while frontier:
-        next_frontier = []
-        for code, enabled in frontier:
-            arcs = arcs_of[code]
-            bits = enabled
-            while bits:
-                low = bits & -bits
-                bits ^= low
-                index = low.bit_length() - 1
-                stripped = code & ~pre_masks[index]
-                post = post_masks[index]
-                conflict = stripped & post
-                if conflict:
-                    raise compiled.unbounded_error(code, index, conflict)
-                succ = stripped | post
-                arcs.append((index, succ))
-                if succ not in seen:
-                    if len(seen) >= max_states:
-                        raise StateExplosionError(
-                            "reachability graph exceeded %d states"
-                            % max_states,
-                            bound=max_states, states=len(seen))
-                    seen.add(succ)
-                    arcs_of[succ] = []
-                    next_frontier.append(
-                        (succ, enabled_after(enabled, index, succ)))
-        frontier = next_frontier
+    # live heartbeat progress for portfolio workers (repro.obs.remote):
+    # the provider reads the growing seen-set, so it costs nothing here
+    tracking = obs.enabled()
+    if tracking:
+        obs.push_progress(lambda: {"states": len(seen)})
+    try:
+        while frontier:
+            next_frontier = []
+            for code, enabled in frontier:
+                arcs = arcs_of[code]
+                bits = enabled
+                while bits:
+                    low = bits & -bits
+                    bits ^= low
+                    index = low.bit_length() - 1
+                    stripped = code & ~pre_masks[index]
+                    post = post_masks[index]
+                    conflict = stripped & post
+                    if conflict:
+                        raise compiled.unbounded_error(code, index, conflict)
+                    succ = stripped | post
+                    arcs.append((index, succ))
+                    if succ not in seen:
+                        if len(seen) >= max_states:
+                            raise StateExplosionError(
+                                "reachability graph exceeded %d states"
+                                % max_states,
+                                bound=max_states, states=len(seen))
+                        seen.add(succ)
+                        arcs_of[succ] = []
+                        next_frontier.append(
+                            (succ, enabled_after(enabled, index, succ)))
+            frontier = next_frontier
+    finally:
+        if tracking:
+            obs.pop_progress()
 
     # Decode once per state and materialise the TransitionSystem in the
     # exact insertion order the naive engine would have produced:
@@ -272,25 +281,33 @@ def _build_naive(net: PetriNet, initial: Marking, max_states: int,
     ts = TransitionSystem(initial)
     frontier = [initial]
     seen = {initial}
-    while frontier:
-        next_frontier = []
-        for marking in frontier:
-            for t in enabled_transitions(net, marking):
-                succ = fire(net, marking, t, check=False)
-                if require_safe and not succ.is_safe():
-                    offenders = [p for p, n in succ.items() if n > 1]
-                    raise UnboundedError(
-                        "firing %r from %r violates 1-safeness at %r"
-                        % (t, marking, offenders)
-                    )
-                ts.add_arc(marking, t, succ)
-                if succ not in seen:
-                    if len(seen) >= max_states:
-                        raise StateExplosionError(
-                            "reachability graph exceeded %d states" % max_states,
-                            bound=max_states, states=len(seen)
+    tracking = obs.enabled()
+    if tracking:
+        obs.push_progress(lambda: {"states": len(seen)})
+    try:
+        while frontier:
+            next_frontier = []
+            for marking in frontier:
+                for t in enabled_transitions(net, marking):
+                    succ = fire(net, marking, t, check=False)
+                    if require_safe and not succ.is_safe():
+                        offenders = [p for p, n in succ.items() if n > 1]
+                        raise UnboundedError(
+                            "firing %r from %r violates 1-safeness at %r"
+                            % (t, marking, offenders)
                         )
-                    seen.add(succ)
-                    next_frontier.append(succ)
-        frontier = next_frontier
+                    ts.add_arc(marking, t, succ)
+                    if succ not in seen:
+                        if len(seen) >= max_states:
+                            raise StateExplosionError(
+                                "reachability graph exceeded %d states"
+                                % max_states,
+                                bound=max_states, states=len(seen)
+                            )
+                        seen.add(succ)
+                        next_frontier.append(succ)
+            frontier = next_frontier
+    finally:
+        if tracking:
+            obs.pop_progress()
     return ts

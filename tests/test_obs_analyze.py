@@ -1,0 +1,286 @@
+"""Trace and benchmark analysis (``repro.obs.analyze`` + ``repro obs``).
+
+Covers span-tree reconstruction (interval containment with the depth
+tie-break racing traces need), the report/diff renderers, the
+noise-aware benchmark regression judgement and its CLI exit codes, and
+the committed ``benchmarks/baselines.json`` artifact itself.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs import analyze
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "benchmarks", "baselines.json")
+
+
+def span(name, start, dur, depth=0, parent=None, tags=None,
+         counters=None, gauges=None, seq=0, event="span"):
+    return {
+        "schema": obs.TRACE_SCHEMA, "event": event, "name": name,
+        "seq": seq, "depth": depth, "parent": parent,
+        "start_s": start, "duration_s": dur,
+        "tags": dict(tags or {}), "counters": dict(counters or {}),
+        "gauges": dict(gauges or {}),
+    }
+
+
+def bench_doc(suite, rows, schema="repro-bench/2", meta=True):
+    doc = {"schema": schema, "suite": suite,
+           "benchmarks": [dict({"group": None, "rounds": 5,
+                                "stddev_s": 0.001}, **r) for r in rows]}
+    if meta and schema == "repro-bench/2":
+        doc["meta"] = {"git_commit": "deadbeef",
+                       "timestamp_utc": "2026-08-08T00:00:00Z",
+                       "python": "3.11.7", "platform": "test"}
+    return doc
+
+
+# ---------------------------------------------------------------------- #
+# tree reconstruction
+# ---------------------------------------------------------------------- #
+
+class TestBuildTree:
+    def test_nests_by_interval_containment(self):
+        records = [
+            span("root", 0.0, 10.0, depth=0),
+            span("child", 1.0, 4.0, depth=1, seq=1),
+            span("grandchild", 2.0, 1.0, depth=2, seq=2),
+            span("sibling", 6.0, 3.0, depth=1, seq=3),
+        ]
+        roots = analyze.build_tree(records)
+        assert len(roots) == 1
+        root = roots[0]
+        assert [c.name for c in root.children] == ["child", "sibling"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        assert root.self_s() == pytest.approx(3.0)
+
+    def test_depth_breaks_ties_between_overlapping_racers(self):
+        # a cancelled loser's interval covers the winner's entirely;
+        # equal depth must keep them siblings
+        records = [
+            span("portfolio.race", 0.0, 10.0, depth=0),
+            span("worker.task", 0.1, 9.0, depth=1, seq=1,
+                 tags={"slot": "loser"}),
+            span("worker.task", 0.5, 2.0, depth=1, seq=2,
+                 tags={"slot": "winner"}),
+        ]
+        roots = analyze.build_tree(records)
+        assert len(roots[0].children) == 2
+
+    def test_events_attach_but_never_own_children(self):
+        records = [
+            span("task", 0.0, 10.0, depth=0),
+            span("beat", 1.0, 0.0, depth=1, seq=1, event="heartbeat"),
+            span("inner", 1.0, 2.0, depth=1, seq=2),
+        ]
+        roots = analyze.build_tree(records)
+        names = [c.name for c in roots[0].children]
+        assert "beat" in names and "inner" in names
+        beat = next(c for c in roots[0].children if c.name == "beat")
+        assert beat.is_event and beat.children == []
+
+    def test_coverage_measures_the_union_of_children(self):
+        records = [
+            span("portfolio.race", 0.0, 10.0, depth=0),
+            span("a", 0.0, 4.0, depth=1, seq=1),
+            span("b", 2.0, 4.0, depth=1, seq=2),   # overlaps a
+            span("c", 8.0, 2.0, depth=1, seq=3),   # leaves [6, 8) bare
+        ]
+        assert analyze.coverage(records) == pytest.approx(0.8)
+        assert analyze.coverage(records, "missing") == 0.0
+
+
+class TestRenderers:
+    def test_report_renders_tree_tags_and_heartbeats(self):
+        records = [
+            span("portfolio.race", 0.0, 10.0, depth=0,
+                 tags={"verdict": "deadlock-free"}),
+            span("worker.task", 1.0, 5.0, depth=1, seq=1,
+                 tags={"slot": "sat", "outcome": "ok"}),
+            span("worker.heartbeat", 2.0, 0.0, depth=2, seq=2,
+                 event="heartbeat", gauges={"conflicts": 12}),
+        ]
+        out = analyze.render_report(records)
+        assert "portfolio.race" in out
+        assert "[slot=sat outcome=ok]" in out
+        assert "1 heartbeat" in out and "conflicts=12" in out
+
+    def test_report_on_empty_trace(self):
+        assert "no spans" in analyze.render_report([])
+
+    def test_diff_marks_new_gone_and_movers(self):
+        a = [span("stable", 0.0, 1.0), span("gone", 2.0, 1.0, seq=1)]
+        b = [span("stable", 0.0, 2.0), span("fresh", 2.0, 1.0, seq=1)]
+        out = analyze.render_diff(a, b, "before", "after")
+        assert "new" in out and "gone" in out
+        assert "+100.0%" in out
+
+    def test_read_trace_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            analyze.read_trace(str(bad))
+
+
+# ---------------------------------------------------------------------- #
+# benchmark regression judgement
+# ---------------------------------------------------------------------- #
+
+class TestBenchRegression:
+    def test_statuses_cover_ok_regression_improvement_new(self):
+        baseline = analyze.make_baseline([bench_doc("s", [
+            {"name": "steady", "mean_s": 1.0},
+            {"name": "slower", "mean_s": 1.0},
+            {"name": "faster", "mean_s": 1.0},
+        ])])
+        now = bench_doc("s", [
+            {"name": "steady", "mean_s": 1.01},
+            {"name": "slower", "mean_s": 2.0},
+            {"name": "faster", "mean_s": 0.5},
+            {"name": "brand_new", "mean_s": 1.0},
+        ])
+        by_name = {e["name"]: e["status"]
+                   for e in analyze.compare_bench([now], baseline)}
+        assert by_name == {"steady": "ok", "slower": "regression",
+                           "faster": "improvement", "brand_new": "new"}
+
+    def test_noise_widens_the_margin(self):
+        noisy = bench_doc("s", [{"name": "x", "mean_s": 1.0,
+                                 "stddev_s": 0.5}])
+        baseline = analyze.make_baseline([noisy])
+        # +40% would regress against the rel_tol floor, but 3 sigma of
+        # recorded noise (~2.1s combined) absorbs it
+        now = bench_doc("s", [{"name": "x", "mean_s": 1.4,
+                               "stddev_s": 0.5}])
+        entries = analyze.compare_bench([now], baseline)
+        assert entries[0]["status"] == "ok"
+        assert entries[0]["margin_s"] > 0.4
+
+    def test_render_regress_verdict_lines(self):
+        baseline = analyze.make_baseline([bench_doc("s", [
+            {"name": "x", "mean_s": 1.0}])])
+        ok = analyze.compare_bench(
+            [bench_doc("s", [{"name": "x", "mean_s": 1.0}])], baseline)
+        assert "ok: 1 benchmarks within thresholds" \
+            in analyze.render_regress(ok)
+        bad = analyze.compare_bench(
+            [bench_doc("s", [{"name": "x", "mean_s": 9.0}])], baseline)
+        assert "REGRESSION: 1 of 1" in analyze.render_regress(bad)
+
+    def test_bench_schema_v1_and_v2_both_load(self, tmp_path):
+        for schema in ("repro-bench/1", "repro-bench/2"):
+            path = tmp_path / "b.json"
+            path.write_text(json.dumps(bench_doc(
+                "s", [{"name": "x", "mean_s": 1.0}], schema=schema)))
+            assert analyze.load_bench_file(str(path))["schema"] == schema
+
+    def test_bench_v2_requires_the_meta_block(self):
+        doc = bench_doc("s", [{"name": "x", "mean_s": 1.0}])
+        del doc["meta"]
+        problems = obs.validate_bench_report(doc)
+        assert any("meta" in p for p in problems)
+        doc = bench_doc("s", [{"name": "x", "mean_s": 1.0}])
+        del doc["meta"]["git_commit"]
+        assert any("git_commit" in p
+                   for p in obs.validate_bench_report(doc))
+
+    def test_committed_baseline_is_schema_valid(self):
+        with open(BASELINE_PATH) as fp:
+            doc = json.load(fp)
+        assert obs.validate_baseline(doc) == []
+        assert doc["suites"]  # non-empty: regress has something to judge
+
+
+# ---------------------------------------------------------------------- #
+# the repro obs CLI family
+# ---------------------------------------------------------------------- #
+
+class TestObsCli:
+    @pytest.fixture()
+    def trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [span("portfolio.race", 0.0, 10.0, depth=0),
+                   span("worker.task", 1.0, 8.0, depth=1, seq=1)]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return str(path)
+
+    def test_report_and_coverage(self, trace, capsys):
+        assert main(["obs", "report", trace,
+                     "--coverage", "portfolio.race"]) == 0
+        out = capsys.readouterr().out
+        assert "worker.task" in out
+        assert "coverage(portfolio.race): 80.0%" in out
+
+    def test_report_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("nope\n")
+        assert main(["obs", "report", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_diff(self, trace, capsys):
+        assert main(["obs", "diff", trace, trace]) == 0
+        assert "worker.task" in capsys.readouterr().out
+
+    def test_lint_matches_module_alias(self, trace, tmp_path, capsys):
+        from repro.obs.__main__ import main as module_main
+        assert main(["obs", "lint", trace]) == 0
+        assert capsys.readouterr().out.strip().endswith("ok")
+        assert module_main([trace]) == 0
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"event": "span"}\n')
+        assert main(["obs", "lint", str(bad)]) == 1
+        assert module_main([str(bad)]) == 1
+
+    def test_baseline_then_regress_roundtrip(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_s.json"
+        bench.write_text(json.dumps(bench_doc(
+            "s", [{"name": "x", "mean_s": 1.0}])))
+        base = tmp_path / "baselines.json"
+        assert main(["obs", "baseline", str(bench), "-o", str(base)]) == 0
+        assert obs.validate_baseline(json.loads(base.read_text())) == []
+        capsys.readouterr()
+        assert main(["obs", "regress", str(bench),
+                     "--baseline", str(base)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_regress_exits_nonzero_on_synthetic_slowdown(self, tmp_path,
+                                                         capsys):
+        bench = tmp_path / "BENCH_s.json"
+        bench.write_text(json.dumps(bench_doc(
+            "s", [{"name": "x", "mean_s": 1.0}])))
+        base = tmp_path / "baselines.json"
+        assert main(["obs", "baseline", str(bench), "-o", str(base)]) == 0
+        slowed = json.loads(bench.read_text())
+        for row in slowed["benchmarks"]:
+            row["mean_s"] *= 3
+        bench.write_text(json.dumps(slowed))
+        capsys.readouterr()
+        assert main(["obs", "regress", str(bench),
+                     "--baseline", str(base)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_regress_missing_baseline_is_a_usage_error(self, tmp_path,
+                                                       capsys):
+        bench = tmp_path / "BENCH_s.json"
+        bench.write_text(json.dumps(bench_doc(
+            "s", [{"name": "x", "mean_s": 1.0}])))
+        assert main(["obs", "regress", str(bench), "--baseline",
+                     str(tmp_path / "absent.json")]) == 2
+
+    def test_regress_thresholds_are_tunable(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_s.json"
+        bench.write_text(json.dumps(bench_doc(
+            "s", [{"name": "x", "mean_s": 1.2, "stddev_s": 0.0}])))
+        base = tmp_path / "baselines.json"
+        base.write_text(json.dumps(analyze.make_baseline([bench_doc(
+            "s", [{"name": "x", "mean_s": 1.0, "stddev_s": 0.0}])])))
+        assert main(["obs", "regress", str(bench), "--baseline", str(base),
+                     "--rel-tol", "0.5"]) == 0
+        assert main(["obs", "regress", str(bench), "--baseline", str(base),
+                     "--rel-tol", "0.05"]) == 1

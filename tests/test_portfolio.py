@@ -328,6 +328,52 @@ class TestVerdictAgreement:
 
 
 # ---------------------------------------------------------------------- #
+# merged cross-process traces under fault injection
+# ---------------------------------------------------------------------- #
+
+#: The fault plans the verdict-stability matrix runs; merged traces must
+#: stay schema-valid and fully attributed under every one of them.
+FAULT_PLANS = [
+    "kill:attempt=0",
+    "kill:max_attempt=99,engine=sat",
+    "raise:attempt=0",
+    "raise:max_attempt=99,method=kinduction",
+    "delay:slot=explicit,seconds=30",
+    "kill:p=0.5,seed=3,max_attempt=99",
+]
+
+
+class TestMergedTraces:
+    @pytest.mark.parametrize("fault", FAULT_PLANS)
+    def test_merged_trace_stays_valid_under_faults(self, fault):
+        from repro import obs
+        from repro.obs.analyze import lint_records
+
+        stg = ALL_EXAMPLES["vme_read"]()
+        faults.install(fault)
+        obs.reset()
+        obs.enable()
+        sink = obs.add_sink(obs.MemorySink())
+        try:
+            verdict = check_deadlock(stg, deadline_s=5.0)
+        finally:
+            obs.remove_sink(sink)
+            obs.reset()
+        assert verdict.verdict == reference_verdict("vme_read", "deadlock")
+        records = sink.records
+        # every record of the merged parent+worker trace is repro-trace/1
+        assert lint_records(records) == []
+        assert [r for r in records if r["name"] == "portfolio.race"]
+        # every worker the race ran is attributed, faulted or not
+        tasks_seen = [r for r in records if r["name"] == "worker.task"]
+        assert tasks_seen
+        for record in tasks_seen:
+            assert "slot" in record["tags"], record
+            assert "attempt" in record["tags"], record
+        assert_no_orphans()
+
+
+# ---------------------------------------------------------------------- #
 # engine selection and CLI
 # ---------------------------------------------------------------------- #
 
